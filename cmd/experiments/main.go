@@ -1,0 +1,117 @@
+// Command experiments regenerates the paper's tables and figures (as
+// reconstructed in DESIGN.md) and prints them as aligned text tables.
+//
+// Usage:
+//
+//	experiments                     # run everything at quick scale
+//	experiments -full               # paper-size machine (slow)
+//	experiments -only fig3,fig6     # a subset
+//	experiments -workloads canneal,barnes
+//
+// Experiment ids: table1 table2 fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8
+// fig9 table3 fig10 fig11 fig12 fig13 fig14 fig15.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/experiments"
+	"repro/internal/stats"
+)
+
+func main() {
+	var (
+		full      = flag.Bool("full", false, "use the paper-size machine instead of the quick one")
+		only      = flag.String("only", "", "comma-separated experiment ids (default: all)")
+		workloads = flag.String("workloads", "", "comma-separated workload subset (default: all)")
+		verbose   = flag.Bool("v", false, "print per-run progress")
+		parallel  = flag.Int("j", 1, "concurrent simulations in sweeps (-1 = all cores)")
+		csv       = flag.Bool("csv", false, "emit CSV instead of aligned text tables")
+	)
+	flag.Parse()
+
+	opts := experiments.Options{Quick: !*full, Parallel: *parallel}
+	if *workloads != "" {
+		opts.Workloads = strings.Split(*workloads, ",")
+	}
+	if *verbose {
+		opts.Progress = func(msg string) { fmt.Fprintln(os.Stderr, msg) }
+	}
+	h := experiments.NewHarness(opts)
+
+	type exp struct {
+		id  string
+		run func() (*stats.Table, error)
+	}
+	all := []exp{
+		{"table1", func() (*stats.Table, error) { return h.Table1Config(), nil }},
+		{"table2", h.Table2Workloads},
+		{"fig1", func() (*stats.Table, error) { tb, _, err := h.Fig1PrivateFraction(); return tb, err }},
+		{"fig2", func() (*stats.Table, error) { r, err := h.Fig2Invalidations(); return tableOf(r, err) }},
+		{"fig3", func() (*stats.Table, error) { r, err := h.Fig3ExecTime(); return tableOf(r, err) }},
+		{"fig4", func() (*stats.Table, error) { r, err := h.Fig4MissRate(); return tableOf(r, err) }},
+		{"fig5", func() (*stats.Table, error) { r, err := h.Fig5Traffic(); return tableOf(r, err) }},
+		{"fig5b", func() (*stats.Table, error) { return h.Fig5TrafficBreakdown(0.125) }},
+		{"fig6", func() (*stats.Table, error) { tb, _, err := h.Fig6Discovery(); return tb, err }},
+		{"fig7", func() (*stats.Table, error) { r, err := h.Fig7Energy(); return tableOf(r, err) }},
+		{"fig7b", func() (*stats.Table, error) { r, err := h.Fig7EnergyTotal(); return tableOf(r, err) }},
+		{"fig8", func() (*stats.Table, error) { tb, _, err := h.Fig8Associativity(); return tb, err }},
+		{"fig9", func() (*stats.Table, error) { tb, _, err := h.Fig9Scaling(); return tb, err }},
+		{"table3", h.Table3Occupancy},
+		{"fig10", func() (*stats.Table, error) { r, err := h.Fig10Cuckoo(); return tableOf(r, err) }},
+		{"fig11", h.Fig11Ablation},
+		{"fig12", func() (*stats.Table, error) { tb, _, err := h.Fig12ProtocolVariants(); return tb, err }},
+		{"fig13", func() (*stats.Table, error) { tb, _, err := h.Fig13EntryFormat(); return tb, err }},
+		{"fig14", func() (*stats.Table, error) { tb, _, err := h.Fig14PrivateL2(); return tb, err }},
+		{"fig15", func() (*stats.Table, error) { tb, _, err := h.Fig15ReplacementPolicy(); return tb, err }},
+	}
+
+	selected := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			selected[strings.TrimSpace(id)] = true
+		}
+		known := map[string]bool{}
+		for _, e := range all {
+			known[e.id] = true
+		}
+		var unknown []string
+		for id := range selected {
+			if !known[id] {
+				unknown = append(unknown, id)
+			}
+		}
+		if len(unknown) > 0 {
+			sort.Strings(unknown)
+			fmt.Fprintf(os.Stderr, "experiments: unknown ids %v\n", unknown)
+			os.Exit(2)
+		}
+	}
+
+	for _, e := range all {
+		if len(selected) > 0 && !selected[e.id] {
+			continue
+		}
+		tb, err := e.run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", e.id, err)
+			os.Exit(1)
+		}
+		if *csv {
+			fmt.Printf("# %s\n%s\n", e.id, tb.CSV())
+		} else {
+			fmt.Printf("== %s ==\n%s\n", e.id, tb)
+		}
+	}
+}
+
+func tableOf(r *experiments.SweepResult, err error) (*stats.Table, error) {
+	if err != nil {
+		return nil, err
+	}
+	return r.Table, nil
+}

@@ -1,0 +1,84 @@
+// Command stashsim runs a single coherence simulation and prints its
+// results.
+//
+// Usage:
+//
+//	stashsim -workload canneal -dir stash -coverage 0.125 [-cores 16] [-quick]
+//
+// Run with -list to see the available workloads and directory kinds.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	stashsim "repro"
+)
+
+func main() {
+	var (
+		workload = flag.String("workload", "canneal", "workload name (see -list)")
+		dirKind  = flag.String("dir", stashsim.DirStash, "directory organization (see -list)")
+		coverage = flag.Float64("coverage", 1, "directory entries / aggregate L1 blocks")
+		cores    = flag.Int("cores", 16, "core count (1,2,4,8,16,32,64)")
+		dirWays  = flag.Int("dir-ways", 4, "directory associativity")
+		accesses = flag.Int("accesses", 0, "accesses per core (0 = config default)")
+		seed     = flag.Int64("seed", 1, "workload seed")
+		quick    = flag.Bool("quick", false, "use the scaled-down quick machine")
+		silent   = flag.Bool("silent-evictions", false, "drop clean L1 victims without notifying the directory")
+		noCheck  = flag.Bool("no-checker", false, "disable the data-value oracle and audits")
+		sample   = flag.Uint64("sample-period", 20_000, "directory occupancy sampling period in cycles (0 = off)")
+		traceDir = flag.String("trace-dir", "", "replay core<NN>.trace files from this directory instead of a synthetic workload")
+		jsonOut  = flag.Bool("json", false, "emit the full results as JSON instead of the text summary")
+		list     = flag.Bool("list", false, "list workloads and directory kinds, then exit")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Printf("workloads:   %s\n", strings.Join(stashsim.Workloads(), " "))
+		fmt.Printf("directories: %s\n", strings.Join(stashsim.DirKinds(), " "))
+		return
+	}
+
+	cfg := stashsim.DefaultConfig(*workload)
+	if *quick {
+		cfg = stashsim.QuickConfig(*workload)
+	}
+	cfg.DirKind = *dirKind
+	cfg.Coverage = *coverage
+	cfg.Cores = *cores
+	cfg.DirWays = *dirWays
+	cfg.Seed = *seed
+	cfg.SilentCleanEvictions = *silent
+	cfg.Checker = !*noCheck
+	cfg.SamplePeriod = *sample
+	if *accesses > 0 {
+		cfg.AccessesPerCore = *accesses
+	}
+	if *traceDir != "" {
+		cfg.Workload = ""
+		for c := 0; c < cfg.Cores; c++ {
+			cfg.TraceFiles = append(cfg.TraceFiles, filepath.Join(*traceDir, fmt.Sprintf("core%02d.trace", c)))
+		}
+	}
+
+	res, err := stashsim.Run(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "stashsim:", err)
+		os.Exit(1)
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			fmt.Fprintln(os.Stderr, "stashsim:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	fmt.Print(res.Summary())
+}

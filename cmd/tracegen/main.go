@@ -1,0 +1,117 @@
+// Command tracegen prints a workload's synthetic access stream, one access
+// per line, for inspection or for feeding external tools:
+//
+//	tracegen -workload barnes -core 0 -n 20
+//	tracegen -workload barnes -summary            # region/write statistics
+//	tracegen -workload barnes -raw                # machine-readable format
+//	tracegen -workload barnes -out traces/ -n 5000 -cores 16
+//	                                              # one replayable file per core
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/trace"
+	"repro/internal/workloads"
+)
+
+func main() {
+	var (
+		workload = flag.String("workload", "canneal", "workload name")
+		core     = flag.Int("core", 0, "core whose stream to generate")
+		cores    = flag.Int("cores", 16, "total core count")
+		n        = flag.Int("n", 100, "number of accesses")
+		seed     = flag.Int64("seed", 1, "stream seed")
+		scale    = flag.Float64("scale", 1, "working-set scale factor")
+		summary  = flag.Bool("summary", false, "print region/write statistics instead of the raw stream")
+		raw      = flag.Bool("raw", false, "emit the machine-readable trace format (L/S <hex-addr>)")
+		out      = flag.String("out", "", "write one trace file per core into this directory")
+	)
+	flag.Parse()
+
+	mix, err := workloads.Get(*workload)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+	mix = mix.Scaled(*scale)
+
+	if *out != "" {
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "tracegen:", err)
+			os.Exit(1)
+		}
+		for c := 0; c < *cores; c++ {
+			st, err := trace.NewStream(mix, c, *cores, *n, *seed)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "tracegen:", err)
+				os.Exit(1)
+			}
+			path := filepath.Join(*out, fmt.Sprintf("core%02d.trace", c))
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "tracegen:", err)
+				os.Exit(1)
+			}
+			if err := trace.WriteStream(f, st); err != nil {
+				fmt.Fprintln(os.Stderr, "tracegen:", err)
+				os.Exit(1)
+			}
+			f.Close()
+		}
+		fmt.Printf("wrote %d trace files to %s\n", *cores, *out)
+		return
+	}
+
+	s, err := trace.NewStream(mix, *core, *cores, *n, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+
+	if *raw {
+		if err := trace.WriteStream(os.Stdout, s); err != nil {
+			fmt.Fprintln(os.Stderr, "tracegen:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *summary {
+		regions := map[trace.Region]int{}
+		writes, total := 0, 0
+		blocks := map[uint64]bool{}
+		for {
+			a, ok := s.Next()
+			if !ok {
+				break
+			}
+			total++
+			regions[trace.RegionOf(a.Block())]++
+			blocks[uint64(a.Block())] = true
+			if a.Write {
+				writes++
+			}
+		}
+		fmt.Printf("workload=%s core=%d accesses=%d distinct-blocks=%d write-ratio=%.3f\n",
+			*workload, *core, total, len(blocks), float64(writes)/float64(total))
+		for r := trace.RegionPrivate; r <= trace.RegionMigratory; r++ {
+			fmt.Printf("  %-18s %6.3f\n", r, float64(regions[r])/float64(total))
+		}
+		return
+	}
+
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	for {
+		a, ok := s.Next()
+		if !ok {
+			break
+		}
+		fmt.Fprintf(w, "%s  region=%s\n", a, trace.RegionOf(a.Block()))
+	}
+}

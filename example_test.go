@@ -1,0 +1,57 @@
+package stashsim_test
+
+import (
+	"fmt"
+
+	stashsim "repro"
+)
+
+// Example runs the paper's headline comparison at a small scale: the stash
+// directory at 1/8 coverage against the conventional sparse baseline.
+func Example() {
+	run := func(kind string, coverage float64) *stashsim.Results {
+		cfg := stashsim.QuickConfig("canneal")
+		cfg.Cores = 4
+		cfg.DirKind = kind
+		cfg.Coverage = coverage
+		cfg.AccessesPerCore = 2000
+		cfg.WorkloadScale = 0.1
+		res, err := stashsim.Run(cfg)
+		if err != nil {
+			panic(err)
+		}
+		return res
+	}
+
+	base := run(stashsim.DirSparse, 1)
+	stash := run(stashsim.DirStash, 0.125)
+
+	slowdown := float64(stash.Cycles) / float64(base.Cycles)
+	fmt.Printf("stash at 1/8 size runs within 10%% of the full-size sparse baseline: %v\n", slowdown < 1.10)
+	fmt.Printf("stash recall invalidations are rare: %v\n", stash.InvsRecall < base.InvsRecall)
+	// Output:
+	// stash at 1/8 size runs within 10% of the full-size sparse baseline: true
+	// stash recall invalidations are rare: true
+}
+
+// ExampleConfig_customMix shows a user-defined sharing mix.
+func ExampleConfig_customMix() {
+	cfg := stashsim.QuickConfig("")
+	cfg.Workload = ""
+	cfg.Cores = 4
+	cfg.AccessesPerCore = 1000
+	cfg.CustomMix = &stashsim.Mix{
+		Name:        "mine",
+		PrivateFrac: 0.7, SharedReadFrac: 0.3,
+		WriteFrac:     0.2,
+		PrivateBlocks: 256, SharedBlocks: 128,
+		ZipfS: 1.5,
+	}
+	res, err := stashsim.Run(cfg)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.Config.WorkloadName(), res.Loads+res.Stores == 4000)
+	// Output:
+	// mine true
+}

@@ -1,0 +1,38 @@
+package cache
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+)
+
+func benchCache(b *testing.B, policy PolicyKind) {
+	c := MustNew(Config{Name: "bench", Sets: 128, Ways: 4, Policy: policy, Seed: 1})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		blk := mem.Block(i * 2654435761 % 4096)
+		if ln := c.Lookup(blk); ln == nil {
+			v := c.Victim(blk, nil)
+			if v != nil {
+				c.Install(v, blk, mem.Shared, 0)
+			}
+		}
+	}
+}
+
+func BenchmarkLookupInstallLRU(b *testing.B)    { benchCache(b, LRU) }
+func BenchmarkLookupInstallPLRU(b *testing.B)   { benchCache(b, TreePLRU) }
+func BenchmarkLookupInstallNRU(b *testing.B)    { benchCache(b, NRU) }
+func BenchmarkLookupInstallRandom(b *testing.B) { benchCache(b, Random) }
+
+func BenchmarkProbeHit(b *testing.B) {
+	c := MustNew(Config{Name: "bench", Sets: 128, Ways: 4})
+	for i := 0; i < 512; i++ {
+		blk := mem.Block(i)
+		c.Install(c.Victim(blk, nil), blk, mem.Shared, 0)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Probe(mem.Block(i % 512))
+	}
+}

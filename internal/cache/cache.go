@@ -1,0 +1,248 @@
+// Package cache implements the generic set-associative storage structure
+// used for every lookup structure in the simulated machine: private L1
+// caches, shared LLC banks, and the directory organizations in
+// internal/core. It provides tag lookup, victim selection through pluggable
+// replacement policies (LRU, tree-PLRU, NRU, random), and per-structure hit
+// and miss accounting.
+package cache
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+	"repro/internal/stats"
+)
+
+// Line is one cache way: a tag plus the simulator-visible metadata.
+// The coherence controllers interpret State and Flags; Data carries the
+// 64-bit payload used by the data-value correctness oracle.
+type Line struct {
+	Block mem.Block
+	State mem.State
+	Data  uint64
+	Flags uint32
+
+	set, way int32 // fixed at construction; lets the cache map *Line back to (set, way) in O(1)
+}
+
+// Valid reports whether the line currently holds a block.
+func (l *Line) Valid() bool { return l.State != mem.Invalid }
+
+// Invalidate clears the line back to its empty state.
+func (l *Line) Invalidate() {
+	l.State = mem.Invalid
+	l.Flags = 0
+	l.Data = 0
+}
+
+// Config describes one set-associative structure.
+type Config struct {
+	Name string // for stats and error messages
+	Sets int    // number of sets; must be a power of two
+	Ways int    // associativity; must be >= 1
+	// IndexShift drops this many low-order block bits before the set index
+	// is extracted. Banked structures (the LLC) are interleaved on the low
+	// block bits, so their per-bank set index must come from the bits above
+	// the bank-select bits to avoid mapping every resident block into a
+	// fraction of the sets.
+	IndexShift uint
+	Policy     PolicyKind
+	Seed       int64 // used by the random policy only
+}
+
+// Cache is a set-associative tag array. It is purely a storage structure:
+// all coherence semantics live in the controllers that own it.
+type Cache struct {
+	cfg    Config
+	lines  []Line // sets*ways, set-major
+	policy Policy
+	mask   mem.Block
+
+	set      *stats.Set
+	hits     *stats.Counter
+	misses   *stats.Counter
+	installs *stats.Counter
+	evicts   *stats.Counter
+}
+
+// New returns an empty cache described by cfg.
+func New(cfg Config) (*Cache, error) {
+	if cfg.Sets <= 0 || cfg.Sets&(cfg.Sets-1) != 0 {
+		return nil, fmt.Errorf("cache %s: sets must be a positive power of two, got %d", cfg.Name, cfg.Sets)
+	}
+	if cfg.Ways < 1 {
+		return nil, fmt.Errorf("cache %s: ways must be >= 1, got %d", cfg.Name, cfg.Ways)
+	}
+	pol, err := newPolicy(cfg.Policy, cfg.Sets, cfg.Ways, cfg.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("cache %s: %w", cfg.Name, err)
+	}
+	c := &Cache{
+		cfg:    cfg,
+		lines:  make([]Line, cfg.Sets*cfg.Ways),
+		policy: pol,
+		mask:   mem.Block(cfg.Sets - 1),
+		set:    stats.NewSet(cfg.Name),
+	}
+	for i := range c.lines {
+		c.lines[i].set = int32(i / cfg.Ways)
+		c.lines[i].way = int32(i % cfg.Ways)
+	}
+	c.hits = c.set.Counter("hits")
+	c.misses = c.set.Counter("misses")
+	c.installs = c.set.Counter("installs")
+	c.evicts = c.set.Counter("evictions")
+	return c, nil
+}
+
+// MustNew is New but panics on a bad configuration. It is for tests and
+// internal construction from already-validated configs.
+func MustNew(cfg Config) *Cache {
+	c, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Config returns the configuration the cache was built with.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Sets returns the number of sets.
+func (c *Cache) Sets() int { return c.cfg.Sets }
+
+// Ways returns the associativity.
+func (c *Cache) Ways() int { return c.cfg.Ways }
+
+// Capacity returns the total number of lines.
+func (c *Cache) Capacity() int { return c.cfg.Sets * c.cfg.Ways }
+
+// Stats returns the cache's metric set.
+func (c *Cache) Stats() *stats.Set { return c.set }
+
+// SetIndex returns the set that block b maps to.
+func (c *Cache) SetIndex(b mem.Block) int {
+	return int((b >> c.cfg.IndexShift) & c.mask)
+}
+
+func (c *Cache) line(set, way int) *Line {
+	return &c.lines[set*c.cfg.Ways+way]
+}
+
+// Lookup finds b and returns its line, recording a hit (and touching the
+// replacement state) or a miss. It returns nil on a miss.
+func (c *Cache) Lookup(b mem.Block) *Line {
+	set := c.SetIndex(b)
+	for w := 0; w < c.cfg.Ways; w++ {
+		ln := c.line(set, w)
+		if ln.Valid() && ln.Block == b {
+			c.hits.Inc()
+			c.policy.Touch(set, w)
+			return ln
+		}
+	}
+	c.misses.Inc()
+	return nil
+}
+
+// Probe finds b without touching replacement state or hit/miss counters.
+// Controllers use it for snoops, audits and inclusion checks.
+func (c *Cache) Probe(b mem.Block) *Line {
+	set := c.SetIndex(b)
+	for w := 0; w < c.cfg.Ways; w++ {
+		ln := c.line(set, w)
+		if ln.Valid() && ln.Block == b {
+			return ln
+		}
+	}
+	return nil
+}
+
+// Victim selects a line of b's set to replace, preferring invalid lines.
+// The skip predicate (optional) excludes lines the caller cannot use right
+// now; it is applied to invalid lines too (callers that reserve ways for
+// in-flight fills must skip them), so predicates that inspect Line.Block
+// must check Valid first — an invalid line's Block is stale. Victim
+// returns nil if every way is excluded.
+func (c *Cache) Victim(b mem.Block, skip func(*Line) bool) *Line {
+	set := c.SetIndex(b)
+	for w := 0; w < c.cfg.Ways; w++ {
+		ln := c.line(set, w)
+		if !ln.Valid() && (skip == nil || !skip(ln)) {
+			return ln
+		}
+	}
+	w := c.policy.Victim(set, func(way int) bool {
+		return skip != nil && skip(c.line(set, way))
+	})
+	if w < 0 {
+		return nil
+	}
+	return c.line(set, w)
+}
+
+// Install writes block b into the given line of b's set (obtained from
+// Victim or Probe), marking it most-recently-used. The line must belong to
+// b's set. If the line was valid, the previous occupant is counted as an
+// eviction; the caller is responsible for having handled its coherence
+// obligations first.
+func (c *Cache) Install(ln *Line, b mem.Block, state mem.State, data uint64) {
+	set, way := c.locate(ln)
+	if set != c.SetIndex(b) {
+		panic(fmt.Sprintf("cache %s: installing block %#x into wrong set %d", c.cfg.Name, uint64(b), set))
+	}
+	if ln.Valid() {
+		c.evicts.Inc()
+	}
+	ln.Block = b
+	ln.State = state
+	ln.Data = data
+	ln.Flags = 0
+	c.installs.Inc()
+	c.policy.Insert(set, way)
+}
+
+// Evict invalidates the given line, counting an eviction if it was valid.
+func (c *Cache) Evict(ln *Line) {
+	if ln.Valid() {
+		c.evicts.Inc()
+	}
+	ln.Invalidate()
+}
+
+// Touch marks ln most-recently-used without counting a hit.
+func (c *Cache) Touch(ln *Line) {
+	set, way := c.locate(ln)
+	c.policy.Touch(set, way)
+}
+
+// locate maps a *Line back to its (set, way) coordinates.
+func (c *Cache) locate(ln *Line) (set, way int) {
+	set, way = int(ln.set), int(ln.way)
+	idx := set*c.cfg.Ways + way
+	if idx < 0 || idx >= len(c.lines) || &c.lines[idx] != ln {
+		panic(fmt.Sprintf("cache %s: line not owned by this cache", c.cfg.Name))
+	}
+	return set, way
+}
+
+// ForEach calls fn for every valid line. Iteration order is set-major and
+// deterministic.
+func (c *Cache) ForEach(fn func(*Line)) {
+	for i := range c.lines {
+		if c.lines[i].Valid() {
+			fn(&c.lines[i])
+		}
+	}
+}
+
+// OccupiedLines returns the number of valid lines.
+func (c *Cache) OccupiedLines() int {
+	n := 0
+	for i := range c.lines {
+		if c.lines[i].Valid() {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,725 @@
+package coherence
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/mem"
+	"repro/internal/noc"
+	"repro/internal/stats"
+)
+
+// LLC line flags.
+const (
+	// flagHidden marks an LLC line whose block is cached privately but no
+	// longer tracked by the directory: its entry was stashed. A directory
+	// miss on a hidden line triggers a discovery broadcast.
+	flagHidden uint32 = 1 << 0
+)
+
+// dirTBE serializes transactions per block at a bank. While a block's TBE
+// exists, further requests for it queue; responses (acks, fetch and
+// discovery replies) are routed straight to the TBE.
+type dirTBE struct {
+	block mem.Block
+
+	waitAcks  int
+	gotDirty  bool
+	dirtyData uint64
+	retained  int // core that kept a Shared copy after Fetch/Discover, or -1
+	anyFound  bool
+	forwarded bool // the owner already granted the requester (three-hop mode)
+	onDone    func()
+	unblocks  int    // forwarded-grant arrivals reported by requesters
+	onUnblock func() // armed when the transaction must wait for an unblock
+}
+
+// Bank is one tile's slice of the shared machinery: an inclusive LLC bank,
+// the co-located directory slice, and the controller that runs coherence
+// transactions for the blocks interleaved onto it.
+type Bank struct {
+	id  int
+	fab *Fabric
+	dir core.Directory
+	llc *cache.Cache
+
+	tbes   map[mem.Block]*dirTBE
+	queues map[mem.Block][]*Msg
+
+	set *stats.Set
+
+	getS, getM, puts  *stats.Counter
+	invsSent          [3]*stats.Counter
+	fetchesSent       *stats.Counter
+	discBroadcasts    *stats.Counter
+	discProbesSent    *stats.Counter
+	discFound         *stats.Counter
+	discStale         *stats.Counter
+	hiddenSet         *stats.Counter
+	hiddenCleared     *stats.Counter
+	llcEvictRecalls   *stats.Counter
+	llcEvictHidden    *stats.Counter
+	llcEvictUntracked *stats.Counter
+	allocRetries      *stats.Counter
+	broadcastInvs     *stats.Counter
+	queuedPeak        *stats.Histogram
+}
+
+// NewBank builds bank id with its directory slice and LLC bank.
+func NewBank(id int, fab *Fabric, dir core.Directory, llcCfg cache.Config) (*Bank, error) {
+	llc, err := cache.New(llcCfg)
+	if err != nil {
+		return nil, err
+	}
+	b := &Bank{
+		id:     id,
+		fab:    fab,
+		dir:    dir,
+		llc:    llc,
+		tbes:   make(map[mem.Block]*dirTBE),
+		queues: make(map[mem.Block][]*Msg),
+		set:    stats.NewSet(fmt.Sprintf("bank.%d", id)),
+	}
+	b.getS = b.set.Counter("getS")
+	b.getM = b.set.Counter("getM")
+	b.puts = b.set.Counter("puts")
+	for r := ReasonDemand; r <= ReasonLLCEvict; r++ {
+		b.invsSent[r] = b.set.Counter("inv_sent." + r.String())
+	}
+	b.fetchesSent = b.set.Counter("fetch_sent")
+	b.discBroadcasts = b.set.Counter("discovery_broadcasts")
+	b.discProbesSent = b.set.Counter("discovery_probes_sent")
+	b.discFound = b.set.Counter("discovery_found")
+	b.discStale = b.set.Counter("discovery_stale")
+	b.hiddenSet = b.set.Counter("hidden_set")
+	b.hiddenCleared = b.set.Counter("hidden_cleared")
+	b.llcEvictRecalls = b.set.Counter("llc_evict.recall")
+	b.llcEvictHidden = b.set.Counter("llc_evict.hidden")
+	b.llcEvictUntracked = b.set.Counter("llc_evict.untracked")
+	b.allocRetries = b.set.Counter("alloc_retries")
+	b.broadcastInvs = b.set.Counter("broadcast_invalidations")
+	b.queuedPeak = b.set.Histogram("queue_depth")
+	return b, nil
+}
+
+// Stats returns the bank's metric set.
+func (bk *Bank) Stats() *stats.Set { return bk.set }
+
+// LLC exposes the LLC bank (read-only use: audits, examples).
+func (bk *Bank) LLC() *cache.Cache { return bk.llc }
+
+// Directory exposes the directory slice.
+func (bk *Bank) Directory() core.Directory { return bk.dir }
+
+func (bk *Bank) node() noc.NodeID { return noc.NodeID(bk.id) }
+
+func (bk *Bank) sendCore(coreID int, m *Msg) {
+	m.From = -1
+	bk.fab.sendToCore(bk.node(), coreID, m)
+}
+
+// busy reports whether block b has an in-flight transaction; the directory
+// organizations use it to skip victims they cannot touch.
+func (bk *Bank) busy(b mem.Block) bool {
+	_, ok := bk.tbes[b]
+	return ok
+}
+
+// addSharer records a sharer under the configured entry format (full-map
+// or limited-pointer).
+func (bk *Bank) addSharer(e *core.Entry, c int) {
+	e.AddSharer(c, bk.fab.Params.PointerLimit)
+}
+
+// sendEntryInvs invalidates every copy entry may cover: the exact sharers
+// for a precise entry, or a broadcast to every core (except skip, -1 for
+// none) when the entry overflowed its pointers. It returns the number of
+// acks to expect.
+func (bk *Bank) sendEntryInvs(entry *core.Entry, b mem.Block, reason InvReason, skip int) int {
+	if entry.Overflowed {
+		bk.broadcastInvs.Inc()
+		n := 0
+		for c := 0; c < bk.fab.Params.Cores; c++ {
+			if c == skip {
+				continue
+			}
+			bk.invsSent[reason].Inc()
+			bk.sendCore(c, &Msg{Type: MsgInv, Block: b, Reason: reason})
+			n++
+		}
+		return n
+	}
+	n := 0
+	entry.Sharers.ForEach(func(c int) {
+		if c == skip {
+			return
+		}
+		bk.invsSent[reason].Inc()
+		bk.sendCore(c, &Msg{Type: MsgInv, Block: b, Reason: reason})
+		n++
+	})
+	return n
+}
+
+// deliver accepts a message from the network. Requests serialize per block;
+// responses are routed to the waiting transaction.
+func (bk *Bank) deliver(m *Msg) {
+	if m.Type.Request() {
+		if bk.busy(m.Block) {
+			q := append(bk.queues[m.Block], m)
+			bk.queues[m.Block] = q
+			bk.queuedPeak.Observe(int64(len(q)))
+			return
+		}
+		bk.start(m)
+		return
+	}
+	// Response: route to the TBE.
+	tbe, ok := bk.tbes[m.Block]
+	if m.Type == MsgUnblock {
+		if !ok {
+			panic(fmt.Sprintf("coherence: bank %d got %v with no open transaction", bk.id, m))
+		}
+		tbe.unblocks++
+		if f := tbe.onUnblock; f != nil {
+			tbe.onUnblock = nil
+			f()
+		}
+		return
+	}
+	if !ok || tbe.waitAcks == 0 {
+		panic(fmt.Sprintf("coherence: bank %d got response %v with no waiting transaction", bk.id, m))
+	}
+	if m.HasData && m.Dirty {
+		tbe.gotDirty = true
+		tbe.dirtyData = m.Data
+	}
+	if m.Retained {
+		tbe.retained = m.From
+	}
+	if m.Found {
+		tbe.anyFound = true
+	}
+	if m.Forwarded {
+		tbe.forwarded = true
+	}
+	tbe.waitAcks--
+	if tbe.waitAcks == 0 {
+		tbe.onDone()
+	}
+}
+
+// start claims the block's TBE and, after the bank access latency, runs the
+// transaction.
+func (bk *Bank) start(m *Msg) {
+	tbe := bk.newTBE(m.Block)
+	bk.fab.Engine.After(bk.fab.Params.BankLatency, "bank.start", func() {
+		switch m.Type {
+		case MsgGetS, MsgGetM:
+			bk.handleGet(m, tbe)
+		case MsgPutS, MsgPutE, MsgPutM:
+			bk.handlePut(m)
+			bk.finish(tbe)
+		default:
+			panic(fmt.Sprintf("coherence: bank %d cannot start %v", bk.id, m))
+		}
+	})
+}
+
+func (bk *Bank) newTBE(b mem.Block) *dirTBE {
+	if bk.busy(b) {
+		panic(fmt.Sprintf("coherence: bank %d double transaction on block %#x", bk.id, uint64(b)))
+	}
+	tbe := &dirTBE{block: b, retained: -1}
+	bk.tbes[b] = tbe
+	return tbe
+}
+
+// finish releases the TBE and pumps the block's request queue.
+func (bk *Bank) finish(tbe *dirTBE) {
+	b := tbe.block
+	if bk.tbes[b] != tbe {
+		panic(fmt.Sprintf("coherence: bank %d finishing stale transaction for %#x", bk.id, uint64(b)))
+	}
+	delete(bk.tbes, b)
+	q := bk.queues[b]
+	if len(q) == 0 {
+		delete(bk.queues, b)
+		return
+	}
+	next := q[0]
+	if len(q) == 1 {
+		delete(bk.queues, b)
+	} else {
+		bk.queues[b] = q[1:]
+	}
+	// Claim the successor's TBE synchronously: leaving even a one-cycle
+	// gap would let an arriving request or a victim selection grab the
+	// block first. The successor's handler still runs after BankLatency.
+	bk.start(next)
+}
+
+// waitUnblock runs fn once the requester has confirmed its forwarded grant
+// (which may already have happened).
+func (bk *Bank) waitUnblock(tbe *dirTBE, fn func()) {
+	if tbe.unblocks > 0 {
+		fn()
+		return
+	}
+	tbe.onUnblock = fn
+}
+
+// wait arms the TBE to collect n responses, then run onDone. n == 0 runs
+// onDone immediately.
+func (bk *Bank) wait(tbe *dirTBE, n int, onDone func()) {
+	tbe.gotDirty = false
+	tbe.retained = -1
+	tbe.anyFound = false
+	tbe.forwarded = false
+	if n == 0 {
+		tbe.onDone = nil
+		onDone()
+		return
+	}
+	tbe.waitAcks = n
+	tbe.onDone = onDone
+}
+
+// ---------------------------------------------------------------------------
+// GetS / GetM
+// ---------------------------------------------------------------------------
+
+func (bk *Bank) handleGet(m *Msg, tbe *dirTBE) {
+	if m.Type == MsgGetS {
+		bk.getS.Inc()
+	} else {
+		bk.getM.Inc()
+	}
+	if line := bk.llc.Lookup(m.Block); line != nil {
+		bk.dirPhase(m, tbe, line)
+		return
+	}
+	bk.fillFromMemory(m.Block, tbe, func(line *cacheLine) {
+		bk.dirPhase(m, tbe, line)
+	})
+}
+
+// fillFromMemory brings m.Block into the LLC: it evicts a victim (recalling
+// or discovering its private copies as inclusion demands) and fetches the
+// block from memory. cont runs with the filled line.
+func (bk *Bank) fillFromMemory(b mem.Block, tbe *dirTBE, cont func(*cacheLine)) {
+	victim := bk.llc.Victim(b, func(ln *cacheLine) bool { return ln.Valid() && bk.busy(ln.Block) })
+	if victim == nil {
+		// Every candidate way has an in-flight transaction; retry.
+		bk.allocRetries.Inc()
+		bk.fab.Engine.After(bk.fab.Params.RetryDelay, "bank.llc-victim-retry", func() {
+			bk.fillFromMemory(b, tbe, cont)
+		})
+		return
+	}
+
+	fetch := func() {
+		// Claim the line immediately so concurrent fills cannot steal it;
+		// the TBE for b keeps everyone away from the garbage data until
+		// the memory read lands.
+		bk.llc.Install(victim, b, mem.Shared, 0)
+		bk.fab.Engine.After(bk.fab.Params.MemLatency, "bank.memread", func() {
+			victim.Data = bk.fab.Memory.Read(b)
+			cont(victim)
+		})
+	}
+
+	if !victim.Valid() {
+		fetch()
+		return
+	}
+	bk.evictLLCVictim(victim, func() {
+		fetch()
+	})
+}
+
+// evictLLCVictim enforces inclusion for an LLC victim: tracked copies are
+// recalled, hidden copies are discovered and invalidated, and dirty data is
+// written back to memory. cont runs once the line may be reused.
+func (bk *Bank) evictLLCVictim(victim *cacheLine, cont func()) {
+	vb := victim.Block
+	finishEvict := func(sub *dirTBE) {
+		if sub.gotDirty {
+			victim.Data = sub.dirtyData
+			victim.State = mem.Modified
+		}
+		if victim.State == mem.Modified {
+			bk.fab.Memory.Write(vb, victim.Data)
+		}
+		// The line is reused by the caller; the eviction itself was
+		// counted by Install.
+	}
+
+	if entry := bk.dir.Probe(vb); entry != nil {
+		// Back-invalidate every tracked copy.
+		bk.llcEvictRecalls.Inc()
+		sub := bk.newTBE(vb)
+		n := bk.sendEntryInvs(entry, vb, ReasonLLCEvict, -1)
+		bk.wait(sub, n, func() {
+			finishEvict(sub)
+			bk.dir.Remove(vb)
+			bk.finish(sub)
+			cont()
+		})
+		return
+	}
+	if victim.Flags&flagHidden != 0 {
+		// A hidden private copy may exist anywhere: discover and kill it.
+		bk.llcEvictHidden.Inc()
+		sub := bk.newTBE(vb)
+		bk.discover(vb, DiscoverInvalidate, ReasonLLCEvict, -1)
+		bk.wait(sub, bk.fab.Params.Cores, func() {
+			if sub.anyFound {
+				bk.discFound.Inc()
+			} else {
+				bk.discStale.Inc()
+			}
+			bk.hiddenCleared.Inc()
+			finishEvict(sub)
+			bk.finish(sub)
+			cont()
+		})
+		return
+	}
+	bk.llcEvictUntracked.Inc()
+	if victim.State == mem.Modified {
+		bk.fab.Memory.Write(vb, victim.Data)
+	}
+	cont()
+}
+
+// discover broadcasts a discovery probe for block b to every core except
+// skip (-1 probes everyone).
+func (bk *Bank) discover(b mem.Block, kind DiscoverKind, reason InvReason, skip int) {
+	bk.discBroadcasts.Inc()
+	for c := 0; c < bk.fab.Params.Cores; c++ {
+		if c == skip {
+			continue
+		}
+		bk.discProbesSent.Inc()
+		bk.sendCore(c, &Msg{Type: MsgDiscover, Block: b, Kind: kind, Reason: reason})
+	}
+}
+
+// dirPhase consults the directory once the block is LLC-resident.
+func (bk *Bank) dirPhase(m *Msg, tbe *dirTBE, line *cacheLine) {
+	if entry := bk.dir.Lookup(m.Block); entry != nil {
+		bk.serveTracked(m, tbe, line, entry)
+		return
+	}
+	if line.Flags&flagHidden != 0 {
+		bk.serveHidden(m, tbe, line)
+		return
+	}
+	// Untracked, not hidden: no private copies exist anywhere.
+	bk.allocEntry(m.Block, tbe, func(entry *core.Entry) {
+		bk.grantFresh(m, line, entry)
+		bk.finish(tbe)
+	})
+}
+
+// serveHidden runs the stash directory's discovery flow: the LLC line says
+// an untracked private copy may exist, so probe all other cores, fold any
+// dirty data into the LLC, rebuild tracking and only then serve the
+// request.
+func (bk *Bank) serveHidden(m *Msg, tbe *dirTBE, line *cacheLine) {
+	kind := DiscoverInvalidate
+	if m.Type == MsgGetS {
+		kind = DiscoverDowngrade
+	}
+	bk.discover(m.Block, kind, ReasonDemand, m.From)
+	bk.wait(tbe, bk.fab.Params.Cores-1, func() {
+		line.Flags &^= flagHidden
+		bk.hiddenCleared.Inc()
+		if tbe.anyFound {
+			bk.discFound.Inc()
+		} else {
+			// The hidden copy was silently gone; the bit was stale.
+			bk.discStale.Inc()
+		}
+		if tbe.gotDirty {
+			line.Data = tbe.dirtyData
+			line.State = mem.Modified
+		}
+		retained := tbe.retained
+		bk.allocEntry(m.Block, tbe, func(entry *core.Entry) {
+			if m.Type == MsgGetS && retained >= 0 {
+				// The hidden owner was downgraded and kept a Shared copy.
+				bk.addSharer(entry, retained)
+				bk.addSharer(entry, m.From)
+				entry.Owned = false
+				bk.sendCore(m.From, &Msg{Type: MsgDataS, Block: m.Block, Data: line.Data, HasData: true})
+			} else {
+				bk.grantFresh(m, line, entry)
+			}
+			bk.finish(tbe)
+		})
+	})
+}
+
+// grantFresh grants a block with no other live copies: Exclusive for reads
+// (the MESI E optimization), Modified for writes.
+func (bk *Bank) grantFresh(m *Msg, line *cacheLine, entry *core.Entry) {
+	entry.Sharers.Add(m.From)
+	entry.Owned = true
+	t := MsgDataE
+	if m.Type == MsgGetM {
+		t = MsgDataM
+	}
+	bk.sendCore(m.From, &Msg{Type: t, Block: m.Block, Data: line.Data, HasData: true})
+}
+
+// serveTracked serves a request for a block with a live directory entry.
+func (bk *Bank) serveTracked(m *Msg, tbe *dirTBE, line *cacheLine, entry *core.Entry) {
+	r := m.From
+	switch {
+	case m.Type == MsgGetS && entry.Owned:
+		owner := entry.Owner()
+		if owner == r {
+			// Only reachable with silent clean evictions: the owner
+			// silently dropped its Exclusive copy and re-reads.
+			bk.sendCore(r, &Msg{Type: MsgDataE, Block: m.Block, Data: line.Data, HasData: true})
+			bk.finish(tbe)
+			return
+		}
+		if bk.fab.Params.ThreeHopForwarding {
+			bk.fetchesSent.Inc()
+			bk.sendCore(owner, &Msg{Type: MsgFwdGetS, Block: m.Block, Requester: r})
+			bk.wait(tbe, 1, func() {
+				if tbe.gotDirty {
+					line.Data = tbe.dirtyData
+					line.State = mem.Modified
+				}
+				bk.addSharer(entry, r)
+				if tbe.forwarded {
+					// The owner granted a Shared copy directly; it keeps
+					// its own copy only when it reported Retained. Hold the
+					// block until the requester confirms the grant landed.
+					if tbe.retained != owner {
+						entry.Sharers.Remove(owner)
+					}
+					entry.Owned = false
+					bk.waitUnblock(tbe, func() { bk.finish(tbe) })
+				} else {
+					// Owner had nothing (silent eviction); serve from the
+					// LLC as in the two-hop flow.
+					entry.Sharers.Remove(owner)
+					entry.Owned = true
+					bk.sendCore(r, &Msg{Type: MsgDataE, Block: m.Block, Data: line.Data, HasData: true})
+					bk.finish(tbe)
+				}
+			})
+			return
+		}
+		bk.fetchesSent.Inc()
+		bk.sendCore(owner, &Msg{Type: MsgFetch, Block: m.Block})
+		bk.wait(tbe, 1, func() {
+			if tbe.gotDirty {
+				line.Data = tbe.dirtyData
+				line.State = mem.Modified
+			}
+			if tbe.retained == owner {
+				entry.Owned = false
+				bk.addSharer(entry, r)
+				bk.sendCore(r, &Msg{Type: MsgDataS, Block: m.Block, Data: line.Data, HasData: true})
+			} else {
+				// The owner's copy was already on its way out: the
+				// requester becomes the sole, exclusive holder.
+				entry.Sharers.Remove(owner)
+				entry.Sharers.Add(r)
+				entry.Owned = true
+				bk.sendCore(r, &Msg{Type: MsgDataE, Block: m.Block, Data: line.Data, HasData: true})
+			}
+			bk.finish(tbe)
+		})
+
+	case m.Type == MsgGetS: // shared entry
+		bk.addSharer(entry, r)
+		bk.sendCore(r, &Msg{Type: MsgDataS, Block: m.Block, Data: line.Data, HasData: true})
+		bk.finish(tbe)
+
+	case entry.Owned: // GetM
+		owner := entry.Owner()
+		if owner == r {
+			// Silent clean evictions only: re-acquire for writing.
+			bk.sendCore(r, &Msg{Type: MsgDataM, Block: m.Block, Data: line.Data, HasData: true})
+			bk.finish(tbe)
+			return
+		}
+		bk.invsSent[ReasonDemand].Inc()
+		if bk.fab.Params.ThreeHopForwarding {
+			bk.sendCore(owner, &Msg{Type: MsgFwdGetM, Block: m.Block, Requester: r})
+			bk.wait(tbe, 1, func() {
+				if tbe.gotDirty {
+					line.Data = tbe.dirtyData
+					line.State = mem.Modified
+				}
+				entry.Sharers = 0
+				entry.Sharers.Add(r)
+				entry.Owned = true
+				if tbe.forwarded {
+					bk.waitUnblock(tbe, func() { bk.finish(tbe) })
+				} else {
+					bk.sendCore(r, &Msg{Type: MsgDataM, Block: m.Block, Data: line.Data, HasData: true})
+					bk.finish(tbe)
+				}
+			})
+			return
+		}
+		bk.sendCore(owner, &Msg{Type: MsgInv, Block: m.Block, Reason: ReasonDemand})
+		bk.wait(tbe, 1, func() {
+			if tbe.gotDirty {
+				line.Data = tbe.dirtyData
+				line.State = mem.Modified
+			}
+			entry.Sharers = 0
+			entry.Sharers.Add(r)
+			entry.Owned = true
+			bk.sendCore(r, &Msg{Type: MsgDataM, Block: m.Block, Data: line.Data, HasData: true})
+			bk.finish(tbe)
+		})
+
+	default: // GetM on a shared entry
+		wasSharer := !entry.Overflowed && entry.Sharers.Has(r)
+		n := bk.sendEntryInvs(entry, m.Block, ReasonDemand, r)
+		bk.wait(tbe, n, func() {
+			entry.Sharers = 0
+			entry.Overflowed = false
+			entry.Sharers.Add(r)
+			entry.Owned = true
+			grant := &Msg{Type: MsgDataM, Block: m.Block}
+			if !(m.HaveLine && wasSharer) {
+				grant.Data, grant.HasData = line.Data, true
+			}
+			bk.sendCore(r, grant)
+			bk.finish(tbe)
+		})
+	}
+}
+
+// allocEntry obtains a directory entry for b, recalling or stashing a
+// victim as the organization demands, and runs cont with the fresh entry.
+func (bk *Bank) allocEntry(b mem.Block, tbe *dirTBE, cont func(*core.Entry)) {
+	res := bk.dir.Allocate(b, bk.busy)
+	switch res.Outcome {
+	case core.AllocOK:
+		cont(res.Entry)
+
+	case core.AllocStashed:
+		// The dropped entry's block becomes hidden: flag its LLC line so a
+		// later directory miss knows a private copy may exist.
+		line := bk.llc.Probe(res.Stashed.Block)
+		if line == nil {
+			panic(fmt.Sprintf("coherence: bank %d stashed block %#x that is not LLC-resident", bk.id, uint64(res.Stashed.Block)))
+		}
+		line.Flags |= flagHidden
+		bk.hiddenSet.Inc()
+		cont(res.Entry)
+
+	case core.AllocNeedsRecall:
+		victim := res.Victim
+		vb := victim.Block
+		sub := bk.newTBE(vb)
+		n := bk.sendEntryInvs(victim, vb, ReasonRecall, -1)
+		bk.wait(sub, n, func() {
+			if sub.gotDirty {
+				vline := bk.llc.Probe(vb)
+				if vline == nil {
+					panic(fmt.Sprintf("coherence: bank %d recalled block %#x that is not LLC-resident", bk.id, uint64(vb)))
+				}
+				vline.Data = sub.dirtyData
+				vline.State = mem.Modified
+			}
+			bk.dir.Remove(vb)
+			bk.finish(sub)
+			// Same-event retry: the freed slot cannot be stolen before we
+			// run again.
+			bk.allocEntry(b, tbe, cont)
+		})
+
+	case core.AllocBlocked:
+		bk.allocRetries.Inc()
+		bk.fab.Engine.After(bk.fab.Params.RetryDelay, "bank.alloc-retry", func() {
+			bk.allocEntry(b, tbe, cont)
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Puts
+// ---------------------------------------------------------------------------
+
+// handlePut retires an L1 eviction notification. Races with recalls,
+// fetches and LLC evictions make several "stale" shapes legal; each is
+// acknowledged and folded in as the rules below describe.
+func (bk *Bank) handlePut(m *Msg) {
+	bk.puts.Inc()
+	b := m.Block
+	r := m.From
+	entry := bk.dir.Probe(b)
+	line := bk.llc.Probe(b)
+
+	switch m.Type {
+	case MsgPutS:
+		if entry != nil && entry.Overflowed {
+			// Limited-pointer overflow: the sharer set is inexact, so the
+			// departure cannot be recorded; the entry stays conservative
+			// until a broadcast invalidation rebuilds it.
+		} else if entry != nil && entry.Sharers.Has(r) {
+			entry.Sharers.Remove(r)
+			if entry.Sharers.Empty() {
+				bk.dir.Remove(b)
+			} else if entry.Sharers.Count() == 1 {
+				// A single Shared holder remains; it does not own the
+				// block (no E/M grant happened), so Owned stays false.
+				entry.Owned = false
+			}
+		} else if entry == nil && line != nil && line.Flags&flagHidden != 0 {
+			// The hidden (singleton-Shared) copy retired itself.
+			line.Flags &^= flagHidden
+			bk.hiddenCleared.Inc()
+		}
+
+	case MsgPutE:
+		if entry != nil && entry.Owner() == r {
+			bk.dir.Remove(b)
+		} else if entry != nil && entry.Overflowed {
+			// As for PutS: no precise removal from an overflowed entry.
+		} else if entry != nil && entry.Sharers.Has(r) {
+			// Downgraded while the PutE was in flight; treat as PutS.
+			entry.Sharers.Remove(r)
+			if entry.Sharers.Empty() {
+				bk.dir.Remove(b)
+			}
+		} else if entry == nil && line != nil && line.Flags&flagHidden != 0 {
+			line.Flags &^= flagHidden
+			bk.hiddenCleared.Inc()
+		}
+
+	case MsgPutM:
+		switch {
+		case entry != nil && entry.Owner() == r:
+			if line == nil {
+				panic(fmt.Sprintf("coherence: bank %d PutM for tracked block %#x with no LLC line", bk.id, uint64(b)))
+			}
+			line.Data = m.Data
+			line.State = mem.Modified
+			bk.dir.Remove(b)
+		case entry == nil && line != nil && line.Flags&flagHidden != 0:
+			line.Data = m.Data
+			line.State = mem.Modified
+			line.Flags &^= flagHidden
+			bk.hiddenCleared.Inc()
+		default:
+			// Stale: an Inv/Fetch already collected this data, or the LLC
+			// line itself was evicted (which recalled us first). Drop it.
+		}
+	}
+	bk.sendCore(r, &Msg{Type: MsgPutAck, Block: b})
+}

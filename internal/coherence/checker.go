@@ -1,0 +1,213 @@
+package coherence
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+)
+
+// Checker is the end-to-end correctness machinery. It maintains a value
+// oracle: every committed store writes a globally unique stamp, and every
+// completed load is checked against the stamp of the most recent committed
+// store to that block. Because MESI's single-writer/multiple-reader
+// property makes the directory the per-block serialization point, any
+// protocol bug that lets a core read stale data (a lost invalidation, a
+// missed hidden copy, a stale LLC grant) surfaces as a stamp mismatch.
+//
+// The checker is cheap (two map operations per access) and stays enabled in
+// all tests; production-scale benchmark runs may disable it.
+type Checker struct {
+	enabled    bool
+	oracle     map[mem.Block]uint64
+	nextVal    uint64
+	violations []string
+	maxRecord  int
+}
+
+// NewChecker returns an enabled checker.
+func NewChecker() *Checker {
+	return &Checker{
+		enabled:   true,
+		oracle:    make(map[mem.Block]uint64),
+		maxRecord: 32,
+	}
+}
+
+// SetEnabled toggles checking; a disabled checker still issues store
+// stamps (data still flows) but skips load verification.
+func (c *Checker) SetEnabled(on bool) { c.enabled = on }
+
+// CommitStore returns the value the store to block b must write, and
+// records it as the block's current value. It must be called exactly when
+// the store commits (the core holds M permission), which under SWMR is the
+// block's coherence order.
+func (c *Checker) CommitStore(b mem.Block) uint64 {
+	c.nextVal++
+	c.oracle[b] = c.nextVal
+	return c.nextVal
+}
+
+// CheckLoad verifies that a completed load observed the block's current
+// value. got is the payload the core read from its cache line.
+func (c *Checker) CheckLoad(core int, b mem.Block, got uint64) {
+	if !c.enabled {
+		return
+	}
+	want := c.oracle[b]
+	if got != want {
+		c.violate(fmt.Sprintf("core %d loaded %#x from block %#x, oracle says %#x",
+			core, got, uint64(b), want))
+	}
+}
+
+func (c *Checker) violate(msg string) {
+	if len(c.violations) < c.maxRecord {
+		c.violations = append(c.violations, msg)
+	}
+}
+
+// Violations returns the recorded coherence violations (empty on a correct
+// run).
+func (c *Checker) Violations() []string { return c.violations }
+
+// Err returns an error summarizing violations, or nil.
+func (c *Checker) Err() error {
+	if len(c.violations) == 0 {
+		return nil
+	}
+	return fmt.Errorf("coherence violations (%d recorded): %s", len(c.violations), c.violations[0])
+}
+
+// Audit verifies the quiescent-state invariants across the whole fabric.
+// It must run when no transactions are in flight (after the simulation
+// drains):
+//
+//   - SWMR: an E/M copy of a block is the only copy anywhere.
+//   - Inclusion: every L1-resident block is present in its home LLC bank.
+//   - Directory coverage: every L1-resident block is tracked by its home
+//     directory with the holder in the sharer set — or, for the stash
+//     directory, is the sole copy of a block whose LLC line has the hidden
+//     bit set (relaxed inclusion).
+//   - Tracking precision (notified evictions only): every tracked sharer
+//     actually holds the block.
+//
+// It returns the list of invariant violations found.
+func Audit(f *Fabric) []string {
+	var bad []string
+	report := func(format string, args ...any) {
+		if len(bad) < 64 {
+			bad = append(bad, fmt.Sprintf(format, args...))
+		}
+	}
+
+	// Gather private-hierarchy residency: block -> core -> state. With an
+	// L2 the outer level defines residency (the directory tracks it); the
+	// effective state is the L1's when the block is also in L1.
+	holders := make(map[mem.Block]map[int]mem.State)
+	for _, l1 := range f.L1s {
+		record := func(b mem.Block, st mem.State) {
+			m, ok := holders[b]
+			if !ok {
+				m = make(map[int]mem.State)
+				holders[b] = m
+			}
+			m[l1.id] = st
+		}
+		if l1.l2 != nil {
+			l1.l2.ForEach(func(ln *cacheLine) {
+				st := ln.State
+				if inner := l1.cache.Probe(ln.Block); inner != nil && inner.State == mem.Modified {
+					st = mem.Modified
+				}
+				record(ln.Block, st)
+			})
+			// L1 ⊆ L2 (private-hierarchy inclusion).
+			l1.cache.ForEach(func(ln *cacheLine) {
+				if l1.l2.Probe(ln.Block) == nil {
+					report("core %d: L1 block %#x missing from its L2", l1.id, uint64(ln.Block))
+				}
+			})
+		} else {
+			l1.cache.ForEach(func(ln *cacheLine) { record(ln.Block, ln.State) })
+		}
+		for b := range l1.tbes {
+			report("core %d has an unfinished transaction for block %#x", l1.id, uint64(b))
+		}
+		if len(l1.stalled) != 0 {
+			report("core %d has %d stalled accesses", l1.id, len(l1.stalled))
+		}
+		for b := range l1.evict {
+			report("core %d has an unacknowledged eviction for block %#x", l1.id, uint64(b))
+		}
+	}
+	for _, bank := range f.Banks {
+		if n := len(bank.tbes); n != 0 {
+			report("bank %d has %d unfinished transactions", bank.id, n)
+		}
+	}
+
+	for b, m := range holders {
+		owned := 0
+		for _, st := range m {
+			if st.Owned() {
+				owned++
+			}
+		}
+		if owned > 0 && len(m) > 1 {
+			report("SWMR violated for block %#x: %d holders with an owned copy present", uint64(b), len(m))
+		}
+
+		bank := f.Banks[f.HomeBank(b)]
+		line := bank.llc.Probe(b)
+		if line == nil {
+			report("inclusion violated: block %#x cached in L1 but absent from LLC bank %d", uint64(b), bank.id)
+			continue
+		}
+		entry := bank.dir.Probe(b)
+		if entry == nil {
+			hidden := line.Flags&flagHidden != 0
+			if !hidden {
+				report("tracking lost: block %#x cached in L1, no directory entry, hidden bit clear", uint64(b))
+			} else if len(m) != 1 {
+				report("hidden block %#x has %d copies, want exactly 1", uint64(b), len(m))
+			}
+			continue
+		}
+		if entry.Overflowed {
+			// Limited-pointer overflow: the entry conservatively covers
+			// every core (broadcast on invalidation), so exactness checks
+			// do not apply.
+			continue
+		}
+		for core := range m {
+			if !entry.Sharers.Has(core) {
+				report("directory entry for block %#x omits holder core %d", uint64(b), core)
+			}
+		}
+		if !f.Params.SilentCleanEvictions {
+			entry.Sharers.ForEach(func(core int) {
+				if _, ok := m[core]; !ok {
+					report("directory entry for block %#x lists core %d, which holds nothing", uint64(b), core)
+				}
+			})
+		}
+	}
+
+	// Hidden bits must only cover blocks with at most one (E/M or sole-S)
+	// copy; a hidden bit on a block with no copies is legal (stale, cleared
+	// lazily by discovery).
+	for _, bank := range f.Banks {
+		bank.llc.ForEach(func(ln *cacheLine) {
+			if ln.Flags&flagHidden == 0 {
+				return
+			}
+			if bank.dir.Probe(ln.Block) != nil {
+				report("block %#x is both tracked and hidden", uint64(ln.Block))
+			}
+			if m := holders[ln.Block]; len(m) > 1 {
+				report("hidden block %#x has %d holders", uint64(ln.Block), len(m))
+			}
+		})
+	}
+	return bad
+}

@@ -1,0 +1,135 @@
+package coherence
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+	"repro/internal/noc"
+	"repro/internal/sim"
+)
+
+// Params are the protocol timing and policy parameters shared by every
+// controller. Latencies follow the paper's 16-core model.
+type Params struct {
+	Cores        int
+	L1HitLatency sim.Cycle // L1 access (hit or tag check) latency
+	L2HitLatency sim.Cycle // private L2 access latency (when an L2 exists)
+	BankLatency  sim.Cycle // directory + LLC bank access latency
+	MemLatency   sim.Cycle // off-chip memory read latency
+	ThinkTime    sim.Cycle // core cycles between completed accesses
+	// SilentCleanEvictions makes L1s drop Shared and (clean) Exclusive
+	// victims without notifying the directory, leaving stale sharer bits
+	// the protocol must tolerate. Default is notified evictions.
+	SilentCleanEvictions bool
+	// ThreeHopForwarding makes owners send data directly to requesters
+	// (owner→requester + owner→directory ack) instead of routing data
+	// through the directory (owner→directory→requester). Two hops fewer
+	// of latency on dirty sharing; the default is directory-centric.
+	ThreeHopForwarding bool
+	// RetryDelay is how long a bank waits before retrying an allocation
+	// that found every victim candidate busy.
+	RetryDelay sim.Cycle
+	// MSHRs is how many demand accesses a core may have outstanding at
+	// once (its memory-level parallelism). 0 or 1 models the blocking
+	// in-order core of the base configuration.
+	MSHRs int
+	// PointerLimit selects the directory entry format: 0 keeps full-map
+	// sharer vectors; P > 0 models Dir_P-B limited-pointer entries, whose
+	// sharer set overflows past P sharers and must then be invalidated by
+	// broadcast. Entry width (area/energy) shrinks accordingly.
+	PointerLimit int
+}
+
+// DefaultParams returns the paper-model timing for the given core count.
+func DefaultParams(cores int) Params {
+	return Params{
+		Cores:        cores,
+		L1HitLatency: 2,
+		L2HitLatency: 10,
+		BankLatency:  8,
+		MemLatency:   160,
+		ThinkTime:    1,
+		RetryDelay:   16,
+		MSHRs:        1,
+	}
+}
+
+// Validate checks the parameters.
+func (p Params) Validate() error {
+	if p.Cores < 1 || p.Cores > 64 {
+		return fmt.Errorf("coherence: cores must be in [1,64], got %d", p.Cores)
+	}
+	if p.RetryDelay == 0 {
+		return fmt.Errorf("coherence: retry delay must be nonzero")
+	}
+	if p.MSHRs < 0 {
+		return fmt.Errorf("coherence: MSHRs must be non-negative, got %d", p.MSHRs)
+	}
+	if p.PointerLimit < 0 {
+		return fmt.Errorf("coherence: pointer limit must be non-negative, got %d", p.PointerLimit)
+	}
+	return nil
+}
+
+// Fabric wires the controllers together: it owns the engine, the mesh, the
+// L1s, the banks, the memory model and the checker, and provides message
+// transport with tile-level demultiplexing.
+//
+// Topology: tile i holds core i, its L1, and LLC/directory bank i; blocks
+// are address-interleaved across banks on the low block bits.
+type Fabric struct {
+	Engine  *sim.Engine
+	Mesh    *noc.Mesh
+	Params  Params
+	L1s     []*L1
+	Banks   []*Bank
+	Memory  *Memory
+	Checker *Checker
+
+	// OnMessage, when set, observes every protocol message as it is sent.
+	// The protocoltrace example uses it to annotate runs.
+	OnMessage func(src, dst noc.NodeID, m *Msg)
+}
+
+// tile is the per-node NoC endpoint; it routes bank-bound message types to
+// the bank and L1-bound ones to the L1.
+type tile struct {
+	l1   *L1
+	bank *Bank
+}
+
+// Deliver implements noc.Endpoint.
+func (t *tile) Deliver(nm *noc.Message) {
+	m := nm.Payload.(*Msg)
+	switch m.Type {
+	case MsgGetS, MsgGetM, MsgPutS, MsgPutE, MsgPutM, MsgInvAck, MsgFetchResp, MsgDiscoverResp, MsgUnblock:
+		t.bank.deliver(m)
+	case MsgDataS, MsgDataE, MsgDataM, MsgInv, MsgFetch, MsgPutAck, MsgDiscover, MsgFwdGetS, MsgFwdGetM:
+		t.l1.deliver(m)
+	default:
+		panic(fmt.Sprintf("coherence: undeliverable message %v", m))
+	}
+}
+
+// HomeBank returns the bank that owns block b.
+func (f *Fabric) HomeBank(b mem.Block) int {
+	return int(uint64(b) % uint64(len(f.Banks)))
+}
+
+// send transports m across the mesh.
+func (f *Fabric) send(src, dst noc.NodeID, m *Msg) {
+	if f.OnMessage != nil {
+		f.OnMessage(src, dst, m)
+	}
+	f.Mesh.Send(&noc.Message{Src: src, Dst: dst, Class: m.class(), Flits: m.flits(), Payload: m})
+}
+
+// sendToBank sends m from core-side node src to block's home bank.
+func (f *Fabric) sendToBank(src noc.NodeID, m *Msg) {
+	f.send(src, noc.NodeID(f.HomeBank(m.Block)), m)
+}
+
+// sendToCore sends m from bank node src to core id's tile.
+func (f *Fabric) sendToCore(src noc.NodeID, core int, m *Msg) {
+	f.send(src, noc.NodeID(core), m)
+}

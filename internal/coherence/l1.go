@@ -1,0 +1,782 @@
+package coherence
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/mem"
+	"repro/internal/noc"
+	"repro/internal/stats"
+)
+
+// cacheLine aliases cache.Line for brevity inside this package.
+type cacheLine = cache.Line
+
+// pendingAccess is an access the L1 could not service immediately: either
+// coalesced behind an outstanding miss to the same block (an MSHR hit) or
+// stalled because every way of its set is reserved.
+type pendingAccess struct {
+	access mem.Access
+	done   func()
+}
+
+// l1TBE tracks one outstanding demand miss (one MSHR).
+type l1TBE struct {
+	block   mem.Block
+	write   bool
+	upgrade bool       // the core held a Shared copy when it issued GetM
+	sawInv  bool       // that copy was invalidated while the upgrade was in flight
+	way     *cacheLine // reserved destination L1 way
+	l2way   *cacheLine // reserved destination L2 way (nil without an L2)
+	done    func()
+	issued  uint64          // cycle the miss was issued, for latency stats
+	waiters []pendingAccess // accesses coalesced behind this miss
+}
+
+// evictBuf keeps a victim's payload alive between Put and PutAck so the L1
+// can still answer Inv/Fetch/Discover for a block whose writeback is in
+// flight.
+type evictBuf struct {
+	data  uint64
+	dirty bool
+}
+
+// L1 is a private per-core data cache controller speaking MESI to the
+// directory banks. It supports multiple outstanding misses (one TBE per
+// block, bounded by the processor's MSHR count), coalesces same-block
+// accesses behind an in-flight miss, and answers directory-initiated
+// traffic at any time — including for blocks parked in its eviction
+// buffers — which is what keeps the protocol deadlock-free.
+type L1 struct {
+	id  int
+	fab *Fabric
+
+	cache      *cache.Cache
+	l2         *cache.Cache // optional private L2, inclusive of the L1
+	tbes       map[mem.Block]*l1TBE
+	reserved   map[*cacheLine]bool // L1 ways claimed by in-flight fills
+	reservedL2 map[*cacheLine]bool // L2 ways claimed by in-flight fills
+	stalled    []pendingAccess     // accesses whose set had no usable way
+	evict      map[mem.Block]*evictBuf
+
+	// invalidatedBy remembers blocks this L1 lost to conflict-induced
+	// invalidations, so a later miss on them can be classified as a
+	// coverage miss (the metric the stash directory attacks).
+	invalidatedBy map[mem.Block]InvReason
+
+	set            *stats.Set
+	loads          *stats.Counter
+	stores         *stats.Counter
+	hits           *stats.Counter
+	misses         *stats.Counter
+	upgrades       *stats.Counter
+	coverageMisses *stats.Counter
+	invsByReason   [3]*stats.Counter
+	spuriousInv    *stats.Counter
+	discoverProbes *stats.Counter
+	discoverHits   *stats.Counter
+	writebacks     *stats.Counter
+	coalesced      *stats.Counter
+	stalls         *stats.Counter
+	l2Hits         *stats.Counter
+	l2Misses       *stats.Counter
+	missLatency    *stats.Histogram
+}
+
+// NewL1 builds the private-cache controller for core id: the L1 tag array
+// plus, when l2cfg is non-nil, an inclusive private L2 behind it. The
+// directory then tracks the L2's (superset) contents.
+func NewL1(id int, fab *Fabric, cfg cache.Config, l2cfg *cache.Config) (*L1, error) {
+	c, err := cache.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	var l2 *cache.Cache
+	if l2cfg != nil {
+		l2, err = cache.New(*l2cfg)
+		if err != nil {
+			return nil, err
+		}
+		if l2.Capacity() < c.Capacity() {
+			return nil, fmt.Errorf("coherence: core %d L2 (%d lines) smaller than L1 (%d lines); inclusion impossible",
+				id, l2.Capacity(), c.Capacity())
+		}
+	}
+	l1 := &L1{
+		id:            id,
+		fab:           fab,
+		cache:         c,
+		l2:            l2,
+		tbes:          make(map[mem.Block]*l1TBE),
+		reserved:      make(map[*cacheLine]bool),
+		reservedL2:    make(map[*cacheLine]bool),
+		evict:         make(map[mem.Block]*evictBuf),
+		invalidatedBy: make(map[mem.Block]InvReason),
+		set:           stats.NewSet(fmt.Sprintf("l1.%d", id)),
+	}
+	l1.loads = l1.set.Counter("loads")
+	l1.stores = l1.set.Counter("stores")
+	l1.hits = l1.set.Counter("hits")
+	l1.misses = l1.set.Counter("misses")
+	l1.upgrades = l1.set.Counter("upgrades")
+	l1.coverageMisses = l1.set.Counter("coverage_misses")
+	for r := ReasonDemand; r <= ReasonLLCEvict; r++ {
+		l1.invsByReason[r] = l1.set.Counter("invalidations." + r.String())
+	}
+	l1.spuriousInv = l1.set.Counter("invalidations.spurious")
+	l1.discoverProbes = l1.set.Counter("discover_probes")
+	l1.discoverHits = l1.set.Counter("discover_hits")
+	l1.writebacks = l1.set.Counter("writebacks")
+	l1.coalesced = l1.set.Counter("mshr_coalesced")
+	l1.stalls = l1.set.Counter("mshr_stalls")
+	l1.l2Hits = l1.set.Counter("l2_hits")
+	l1.l2Misses = l1.set.Counter("l2_misses")
+	l1.missLatency = l1.set.Histogram("miss_latency")
+	return l1, nil
+}
+
+// Stats returns the L1 metric set.
+func (l *L1) Stats() *stats.Set { return l.set }
+
+// Cache exposes the L1 tag array (read-only use: audits, examples).
+func (l *L1) Cache() *cache.Cache { return l.cache }
+
+// L2 exposes the private L2 tag array, or nil when the hierarchy has none.
+func (l *L1) L2() *cache.Cache { return l.l2 }
+
+func (l *L1) node() noc.NodeID { return noc.NodeID(l.id) }
+
+// Access services one core memory reference and calls done when it
+// completes. The processor bounds how many accesses are outstanding (its
+// MSHR count); the L1 itself accepts any number, coalescing same-block
+// accesses behind the in-flight miss and stalling accesses whose set has
+// no usable way until a fill frees one.
+func (l *L1) Access(a mem.Access, done func()) {
+	if a.Write {
+		l.stores.Inc()
+	} else {
+		l.loads.Inc()
+	}
+	l.lookupAndService(a, done)
+}
+
+// lookupAndService runs the tag lookup and either completes, coalesces,
+// stalls or starts a miss. Replays (coalesced/stalled accesses re-entering
+// after a fill) come through here too, so they are not double-counted as
+// loads/stores.
+func (l *L1) lookupAndService(a mem.Access, done func()) {
+	b := a.Block()
+	if tbe, ok := l.tbes[b]; ok {
+		// MSHR hit: ride the in-flight miss. (Even a load that could hit a
+		// Shared line under an upgrade coalesces, keeping the line's state
+		// transitions simple.)
+		l.coalesced.Inc()
+		tbe.waiters = append(tbe.waiters, pendingAccess{access: a, done: done})
+		return
+	}
+
+	if ln := l.cache.Lookup(b); ln != nil {
+		switch {
+		case !a.Write:
+			l.hits.Inc()
+			l.completeLoad(ln, done)
+			return
+		case ln.State == mem.Modified:
+			l.hits.Inc()
+			l.commitStore(ln, done)
+			return
+		case ln.State == mem.Exclusive:
+			// Silent E→M upgrade: invisible to the directory.
+			l.hits.Inc()
+			ln.State = mem.Modified
+			l.commitStore(ln, done)
+			return
+		default: // Shared: upgrade via GetM
+			l.upgrades.Inc()
+			l.misses.Inc()
+			var l2way *cacheLine
+			if l.l2 != nil {
+				l2way = l.l2.Probe(b)
+				if l2way == nil {
+					panic(fmt.Sprintf("coherence: core %d upgrading block %#x missing from L2", l.id, uint64(b)))
+				}
+			}
+			l.tbes[b] = &l1TBE{
+				block: b, write: true, upgrade: true, way: ln, l2way: l2way, done: done,
+				issued: uint64(l.fab.Engine.Now()),
+			}
+			l.fab.Engine.After(l.fab.Params.L1HitLatency, "l1.request", func() {
+				l.send(&Msg{Type: MsgGetM, Block: b, From: l.id, HaveLine: true})
+			})
+			return
+		}
+	}
+
+	// L1 missed. The L1 victim may not be a way reserved by another fill
+	// or a line with its own transaction (an in-flight upgrade).
+	way := l.cache.Victim(b, func(ln *cacheLine) bool {
+		return l.reserved[ln] || (ln.Valid() && l.tbes[ln.Block] != nil)
+	})
+	if way == nil {
+		// Every way of the set is spoken for; retry when a fill lands.
+		// (Not counted as a miss yet — the replay will classify it.)
+		l.stalls.Inc()
+		l.stalled = append(l.stalled, pendingAccess{access: a, done: done})
+		return
+	}
+
+	// Private L2, when present: an L2 hit is serviced locally.
+	var l2way *cacheLine
+	if l.l2 != nil {
+		if l2ln := l.l2.Lookup(b); l2ln != nil {
+			switch {
+			case !a.Write, l2ln.State.Owned():
+				// Local fill from L2 (a store to an E line upgrades both
+				// levels silently). The fill holds a TBE so same-block
+				// accesses coalesce instead of starting duplicate fills.
+				l.l2Hits.Inc()
+				l.hits.Inc() // hierarchy hit: no coherence traffic
+				if a.Write {
+					l2ln.State = mem.Modified
+				}
+				if way.Valid() {
+					l.foldIntoL2(way)
+				}
+				l.reserved[way] = true
+				tbe := &l1TBE{
+					block: b, write: a.Write, way: way, done: done,
+					issued: uint64(l.fab.Engine.Now()),
+				}
+				l.tbes[b] = tbe
+				l.fab.Engine.After(l.fab.Params.L2HitLatency, "l1.l2fill", func() {
+					l.completeLocalFill(tbe, a)
+				})
+				return
+			default:
+				// Shared in L2, store: upgrade through the directory.
+				l.l2Hits.Inc()
+				l.upgrades.Inc()
+				l.misses.Inc()
+				if way.Valid() {
+					l.foldIntoL2(way)
+				}
+				l.reserved[way] = true
+				l.tbes[b] = &l1TBE{
+					block: b, write: true, upgrade: true, way: way, l2way: l2ln, done: done,
+					issued: uint64(l.fab.Engine.Now()),
+				}
+				l.fab.Engine.After(l.fab.Params.L1HitLatency, "l1.request", func() {
+					l.send(&Msg{Type: MsgGetM, Block: b, From: l.id, HaveLine: true})
+				})
+				return
+			}
+		}
+		// Full miss: an L2 way is needed too.
+		l.l2Misses.Inc()
+		l2way = l.l2.Victim(b, func(ln *cacheLine) bool {
+			return l.reservedL2[ln] || (ln.Valid() && l.tbes[ln.Block] != nil)
+		})
+		if l2way == nil {
+			l.stalls.Inc()
+			l.stalled = append(l.stalled, pendingAccess{access: a, done: done})
+			return
+		}
+	}
+
+	l.misses.Inc()
+	if _, ok := l.invalidatedBy[b]; ok {
+		l.coverageMisses.Inc()
+		delete(l.invalidatedBy, b)
+	}
+	if l.l2 != nil {
+		if way.Valid() {
+			l.foldIntoL2(way)
+		}
+		if l2way.Valid() {
+			l.evictL2Line(l2way)
+		}
+		l.reservedL2[l2way] = true
+	} else if way.Valid() {
+		l.evictLine(way)
+	}
+	t := MsgGetS
+	if a.Write {
+		t = MsgGetM
+	}
+	l.reserved[way] = true
+	l.tbes[b] = &l1TBE{
+		block: b, write: a.Write, way: way, l2way: l2way, done: done,
+		issued: uint64(l.fab.Engine.Now()),
+	}
+	l.request(t, b)
+}
+
+// completeLocalFill finishes an L2-hit fill: install into the reserved L1
+// way unless a snoop raced the fill away (then the access replays as a
+// fresh lookup), and replay anything that piled up behind it.
+func (l *L1) completeLocalFill(tbe *l1TBE, a mem.Access) {
+	delete(l.tbes, tbe.block)
+	delete(l.reserved, tbe.way)
+	cur := l.l2.Probe(tbe.block)
+	if cur == nil || (a.Write && cur.State != mem.Modified) {
+		l.lookupAndService(a, tbe.done)
+	} else {
+		l.cache.Install(tbe.way, tbe.block, cur.State, cur.Data)
+		if a.Write {
+			l.commitStore(tbe.way, tbe.done)
+		} else {
+			l.completeLoad(tbe.way, tbe.done)
+		}
+	}
+	for _, w := range tbe.waiters {
+		l.lookupAndService(w.access, w.done)
+	}
+	if len(l.stalled) > 0 {
+		stalled := l.stalled
+		l.stalled = nil
+		for _, w := range stalled {
+			l.lookupAndService(w.access, w.done)
+		}
+	}
+}
+
+// foldIntoL2 retires an L1 victim into the (inclusive) L2: dirty data and
+// the Modified state move down; no coherence traffic results.
+func (l *L1) foldIntoL2(ln *cacheLine) {
+	l2ln := l.l2.Probe(ln.Block)
+	if l2ln == nil {
+		panic(fmt.Sprintf("coherence: core %d L1 holds block %#x that its L2 does not (inclusion broken)",
+			l.id, uint64(ln.Block)))
+	}
+	if ln.State == mem.Modified {
+		l2ln.State = mem.Modified
+		l2ln.Data = ln.Data
+	}
+	l.cache.Evict(ln)
+}
+
+// evictL2Line retires an L2 victim out of the hierarchy: any L1 copy is
+// removed first (taking its newer data), then the directory is notified as
+// for a single-level eviction.
+func (l *L1) evictL2Line(l2ln *cacheLine) {
+	b := l2ln.Block
+	data := l2ln.Data
+	state := l2ln.State
+	if l1ln := l.cache.Probe(b); l1ln != nil {
+		if l1ln.State == mem.Modified {
+			data = l1ln.Data
+			state = mem.Modified
+		}
+		l.cache.Evict(l1ln)
+	}
+	switch state {
+	case mem.Modified:
+		l.writebacks.Inc()
+		l.evict[b] = &evictBuf{data: data, dirty: true}
+		l.send(&Msg{Type: MsgPutM, Block: b, From: l.id, Data: data, HasData: true, Dirty: true})
+	case mem.Exclusive:
+		if !l.fab.Params.SilentCleanEvictions {
+			l.evict[b] = &evictBuf{data: data}
+			l.send(&Msg{Type: MsgPutE, Block: b, From: l.id})
+		}
+	case mem.Shared:
+		if !l.fab.Params.SilentCleanEvictions {
+			l.evict[b] = &evictBuf{data: data}
+			l.send(&Msg{Type: MsgPutS, Block: b, From: l.id})
+		}
+	}
+	l.l2.Evict(l2ln)
+}
+
+// completeLoad verifies the value against the oracle and schedules the
+// core's continuation after the hit latency.
+func (l *L1) completeLoad(ln *cacheLine, done func()) {
+	l.fab.Checker.CheckLoad(l.id, ln.Block, ln.Data)
+	l.fab.Engine.After(l.fab.Params.L1HitLatency, "l1.load", done)
+}
+
+// commitStore stamps the oracle value into the line (the store commits
+// here; the line must be writable) and schedules the continuation.
+func (l *L1) commitStore(ln *cacheLine, done func()) {
+	if ln.State != mem.Modified {
+		panic(fmt.Sprintf("coherence: core %d storing to %v line", l.id, ln.State))
+	}
+	ln.Data = l.fab.Checker.CommitStore(ln.Block)
+	l.fab.Engine.After(l.fab.Params.L1HitLatency, "l1.store", done)
+}
+
+// evictLine retires a victim: Modified lines always write back; clean lines
+// notify the directory unless silent clean evictions are configured.
+func (l *L1) evictLine(ln *cacheLine) {
+	b := ln.Block
+	switch ln.State {
+	case mem.Modified:
+		l.writebacks.Inc()
+		l.evict[b] = &evictBuf{data: ln.Data, dirty: true}
+		l.send(&Msg{Type: MsgPutM, Block: b, From: l.id, Data: ln.Data, HasData: true, Dirty: true})
+	case mem.Exclusive:
+		if !l.fab.Params.SilentCleanEvictions {
+			l.evict[b] = &evictBuf{data: ln.Data}
+			l.send(&Msg{Type: MsgPutE, Block: b, From: l.id})
+		}
+	case mem.Shared:
+		if !l.fab.Params.SilentCleanEvictions {
+			l.evict[b] = &evictBuf{data: ln.Data}
+			l.send(&Msg{Type: MsgPutS, Block: b, From: l.id})
+		}
+	}
+	l.cache.Evict(ln)
+}
+
+// request issues a demand request after the L1 tag-access latency.
+func (l *L1) request(t MsgType, b mem.Block) {
+	l.fab.Engine.After(l.fab.Params.L1HitLatency, "l1.request", func() {
+		l.send(&Msg{Type: t, Block: b, From: l.id})
+	})
+}
+
+func (l *L1) send(m *Msg) { l.fab.sendToBank(l.node(), m) }
+
+// deliver handles a message from the network.
+func (l *L1) deliver(m *Msg) {
+	switch m.Type {
+	case MsgDataS, MsgDataE, MsgDataM:
+		l.onData(m)
+	case MsgInv:
+		l.onInv(m)
+	case MsgFetch:
+		l.onFetch(m)
+	case MsgDiscover:
+		l.onDiscover(m)
+	case MsgFwdGetS:
+		l.onFwdGetS(m)
+	case MsgFwdGetM:
+		l.onFwdGetM(m)
+	case MsgPutAck:
+		delete(l.evict, m.Block)
+	default:
+		panic(fmt.Sprintf("coherence: L1 %d cannot handle %v", l.id, m))
+	}
+}
+
+// onFwdGetS (three-hop mode) downgrades an owned copy, sends the data
+// straight to the requester, and tells the bank what happened. When the
+// copy is gone (and not even in the eviction buffer), the bank serves the
+// requester itself.
+func (l *L1) onFwdGetS(m *Msg) {
+	resp := &Msg{Type: MsgFetchResp, Block: m.Block, From: l.id}
+	if l1ln, l2ln := l.probeHier(m.Block); l1ln != nil || l2ln != nil {
+		grantData := hierData(l1ln, l2ln)
+		if data, dirty := hierDirty(l1ln, l2ln); dirty {
+			resp.Data, resp.HasData, resp.Dirty = data, true, true
+			grantData = data
+		}
+		grant := &Msg{Type: MsgDataS, Block: m.Block, From: l.id, Data: grantData, HasData: true}
+		downgradeHier(l1ln, l2ln)
+		resp.Retained = true
+		resp.Forwarded = true
+		l.fab.sendToCore(l.node(), m.Requester, grant)
+	} else if buf, ok := l.evict[m.Block]; ok {
+		if buf.dirty {
+			resp.Data, resp.HasData, resp.Dirty = buf.data, true, true
+		}
+		resp.Forwarded = true
+		l.fab.sendToCore(l.node(), m.Requester,
+			&Msg{Type: MsgDataS, Block: m.Block, From: l.id, Data: buf.data, HasData: true})
+	}
+	l.send(resp)
+}
+
+// onFwdGetM (three-hop mode) invalidates an owned copy and forwards a
+// writable grant to the requester.
+func (l *L1) onFwdGetM(m *Msg) {
+	resp := &Msg{Type: MsgInvAck, Block: m.Block, From: l.id}
+	if l1ln, l2ln := l.probeHier(m.Block); l1ln != nil || l2ln != nil {
+		l.invsByReason[ReasonDemand].Inc()
+		grantData := hierData(l1ln, l2ln)
+		if data, dirty := hierDirty(l1ln, l2ln); dirty {
+			resp.Data, resp.HasData, resp.Dirty = data, true, true
+			grantData = data
+		}
+		resp.Forwarded = true
+		l.fab.sendToCore(l.node(), m.Requester,
+			&Msg{Type: MsgDataM, Block: m.Block, From: l.id, Data: grantData, HasData: true})
+		l.markUpgradeInvalidated(m.Block)
+		l.invalidateHier(l1ln, l2ln)
+	} else if buf, ok := l.evict[m.Block]; ok {
+		if buf.dirty {
+			resp.Data, resp.HasData, resp.Dirty = buf.data, true, true
+		}
+		resp.Forwarded = true
+		l.fab.sendToCore(l.node(), m.Requester,
+			&Msg{Type: MsgDataM, Block: m.Block, From: l.id, Data: buf.data, HasData: true})
+	}
+	l.send(resp)
+}
+
+// onData completes an outstanding miss, then replays any accesses that
+// coalesced behind it or stalled on a full set.
+func (l *L1) onData(m *Msg) {
+	tbe, ok := l.tbes[m.Block]
+	if !ok {
+		panic(fmt.Sprintf("coherence: core %d got %v with no matching transaction", l.id, m))
+	}
+	delete(l.tbes, m.Block)
+	delete(l.reserved, tbe.way)
+
+	var st mem.State
+	switch m.Type {
+	case MsgDataS:
+		st = mem.Shared
+	case MsgDataE:
+		st = mem.Exclusive
+	case MsgDataM:
+		st = mem.Modified
+	}
+
+	// Fill the L2 level first (the directory tracks it).
+	if l.l2 != nil {
+		l2ln := tbe.l2way
+		delete(l.reservedL2, l2ln)
+		st2 := mem.Shared
+		switch m.Type {
+		case MsgDataE:
+			st2 = mem.Exclusive
+		case MsgDataM:
+			st2 = mem.Modified
+		}
+		if l2ln.Valid() {
+			if l2ln.Block != m.Block {
+				panic(fmt.Sprintf("coherence: core %d reserved L2 way is occupied by %#x", l.id, uint64(l2ln.Block)))
+			}
+			l2ln.State = st2
+			if m.HasData {
+				l2ln.Data = m.Data
+			}
+			l.l2.Touch(l2ln)
+		} else {
+			data := m.Data
+			if !m.HasData {
+				// In-place upgrade whose L2 line was since evicted... cannot
+				// happen: upgrades pin the block via the TBE, and L2 victim
+				// selection skips blocks with transactions.
+				panic(fmt.Sprintf("coherence: core %d L2 upgrade target vanished for %#x", l.id, uint64(m.Block)))
+			}
+			l.l2.Install(l2ln, m.Block, st2, data)
+		}
+	}
+
+	var ln *cacheLine
+	if tbe.upgrade && !tbe.sawInv && !m.HasData {
+		// In-place upgrade: the Shared copy survived, so its data is
+		// current; the grant carries permission only.
+		ln = tbe.way
+		switch {
+		case ln.Valid() && ln.Block == m.Block:
+			ln.State = st
+			l.cache.Touch(ln)
+		case l.l2 != nil && !ln.Valid():
+			// The Shared copy lived only in the L2; fill the L1 from it.
+			l.cache.Install(ln, m.Block, st, tbe.l2way.Data)
+		default:
+			panic(fmt.Sprintf("coherence: core %d upgrade target vanished", l.id))
+		}
+	} else {
+		if !m.HasData {
+			panic(fmt.Sprintf("coherence: core %d got %v without data for a fill", l.id, m))
+		}
+		ln = tbe.way
+		if ln.Valid() {
+			// Only an upgrade whose Shared copy survived can find its way
+			// occupied here (e.g. the entry was stashed mid-flight and the
+			// bank granted full data): overwrite in place.
+			if !tbe.upgrade || ln.Block != m.Block {
+				panic(fmt.Sprintf("coherence: core %d reserved way is occupied by %#x", l.id, uint64(ln.Block)))
+			}
+			ln.State = st
+			ln.Data = m.Data
+			l.cache.Touch(ln)
+		} else {
+			l.cache.Install(ln, m.Block, st, m.Data)
+		}
+	}
+
+	if m.From >= 0 {
+		// The grant was forwarded by the previous owner: tell the home
+		// bank it landed so it may open the block's next transaction.
+		l.send(&Msg{Type: MsgUnblock, Block: m.Block, From: l.id})
+	}
+
+	l.missLatency.Observe(int64(uint64(l.fab.Engine.Now()) - tbe.issued))
+	if tbe.write {
+		if ln.State != mem.Modified {
+			panic(fmt.Sprintf("coherence: core %d write granted %v", l.id, ln.State))
+		}
+		l.commitStore(ln, tbe.done)
+	} else {
+		l.completeLoad(ln, tbe.done)
+	}
+
+	// Replay coalesced accesses: the first may start a new transaction for
+	// this block (e.g. a store behind a Shared grant); the rest re-coalesce
+	// behind it.
+	for _, w := range tbe.waiters {
+		l.lookupAndService(w.access, w.done)
+	}
+	// Retry accesses that stalled on fully-reserved sets; the fill may have
+	// freed a way (possibly in another set — retrying all is harmless).
+	if len(l.stalled) > 0 {
+		stalled := l.stalled
+		l.stalled = nil
+		for _, w := range stalled {
+			l.lookupAndService(w.access, w.done)
+		}
+	}
+}
+
+// probeHier returns the hierarchy's copy of b: the L1 line and (when an L2
+// exists) the L2 line.
+func (l *L1) probeHier(b mem.Block) (l1ln, l2ln *cacheLine) {
+	l1ln = l.cache.Probe(b)
+	if l.l2 != nil {
+		l2ln = l.l2.Probe(b)
+	}
+	return l1ln, l2ln
+}
+
+// hierDirty extracts the modified payload of a hierarchy copy, if any; the
+// L1's copy is the freshest.
+func hierDirty(l1ln, l2ln *cacheLine) (data uint64, dirty bool) {
+	if l1ln != nil && l1ln.State == mem.Modified {
+		return l1ln.Data, true
+	}
+	if l2ln != nil && l2ln.State == mem.Modified {
+		return l2ln.Data, true
+	}
+	return 0, false
+}
+
+// hierData returns the hierarchy's current payload (L1 first).
+func hierData(l1ln, l2ln *cacheLine) uint64 {
+	if l1ln != nil {
+		return l1ln.Data
+	}
+	return l2ln.Data
+}
+
+// invalidateHier removes the copy from both levels.
+func (l *L1) invalidateHier(l1ln, l2ln *cacheLine) {
+	if l1ln != nil {
+		l.cache.Evict(l1ln)
+	}
+	if l2ln != nil {
+		l.l2.Evict(l2ln)
+	}
+}
+
+// downgradeHier moves both levels to Shared. A Modified L1 copy's data is
+// synced into the L2 first — otherwise the L2 would keep serving its stale
+// payload after the (now Shared) L1 copy folds away.
+func downgradeHier(l1ln, l2ln *cacheLine) {
+	if l1ln != nil && l1ln.State == mem.Modified && l2ln != nil {
+		l2ln.Data = l1ln.Data
+	}
+	if l1ln != nil {
+		l1ln.State = mem.Shared
+	}
+	if l2ln != nil {
+		l2ln.State = mem.Shared
+	}
+}
+
+// markUpgradeInvalidated flags an in-flight upgrade whose copy a snoop is
+// about to kill, keeping its fill targets reserved.
+func (l *L1) markUpgradeInvalidated(b mem.Block) {
+	if tbe, ok := l.tbes[b]; ok && tbe.upgrade {
+		tbe.sawInv = true
+		l.reserved[tbe.way] = true
+		if tbe.l2way != nil {
+			l.reservedL2[tbe.l2way] = true
+		}
+	}
+}
+
+// onInv invalidates a copy (or records that there is nothing to
+// invalidate) and always acknowledges immediately.
+func (l *L1) onInv(m *Msg) {
+	ack := &Msg{Type: MsgInvAck, Block: m.Block, From: l.id}
+	l1ln, l2ln := l.probeHier(m.Block)
+	if l1ln != nil || l2ln != nil {
+		l.invsByReason[m.Reason].Inc()
+		if m.Reason != ReasonDemand {
+			l.invalidatedBy[m.Block] = m.Reason
+		}
+		if data, dirty := hierDirty(l1ln, l2ln); dirty {
+			ack.Data, ack.HasData, ack.Dirty = data, true, true
+		}
+		l.markUpgradeInvalidated(m.Block)
+		l.invalidateHier(l1ln, l2ln)
+	} else if buf, ok := l.evict[m.Block]; ok {
+		// The line is on its way out; answer from the eviction buffer.
+		l.invsByReason[m.Reason].Inc()
+		if buf.dirty {
+			ack.Data, ack.HasData, ack.Dirty = buf.data, true, true
+		}
+	} else {
+		l.spuriousInv.Inc()
+	}
+	l.send(ack)
+}
+
+// onFetch downgrades an owned copy to Shared and returns its data (when
+// dirty). Retained=false tells the bank the copy is already gone.
+func (l *L1) onFetch(m *Msg) {
+	resp := &Msg{Type: MsgFetchResp, Block: m.Block, From: l.id}
+	l1ln, l2ln := l.probeHier(m.Block)
+	if l1ln != nil || l2ln != nil {
+		if data, dirty := hierDirty(l1ln, l2ln); dirty {
+			resp.Data, resp.HasData, resp.Dirty = data, true, true
+		}
+		downgradeHier(l1ln, l2ln)
+		resp.Retained = true
+	} else if buf, ok := l.evict[m.Block]; ok {
+		if buf.dirty {
+			resp.Data, resp.HasData, resp.Dirty = buf.data, true, true
+		}
+	}
+	l.send(resp)
+}
+
+// onDiscover answers a stash discovery probe, applying the requested
+// action (downgrade or invalidate) to a found copy.
+func (l *L1) onDiscover(m *Msg) {
+	l.discoverProbes.Inc()
+	resp := &Msg{Type: MsgDiscoverResp, Block: m.Block, From: l.id}
+	if l1ln, l2ln := l.probeHier(m.Block); l1ln != nil || l2ln != nil {
+		l.discoverHits.Inc()
+		resp.Found = true
+		if data, dirty := hierDirty(l1ln, l2ln); dirty {
+			resp.Data, resp.HasData, resp.Dirty = data, true, true
+		}
+		switch m.Kind {
+		case DiscoverDowngrade:
+			downgradeHier(l1ln, l2ln)
+			resp.Retained = true
+		case DiscoverInvalidate:
+			l.markUpgradeInvalidated(m.Block)
+			if m.Reason != ReasonDemand {
+				l.invalidatedBy[m.Block] = m.Reason
+			}
+			l.invalidateHier(l1ln, l2ln)
+		}
+	} else if buf, ok := l.evict[m.Block]; ok {
+		// A hidden block caught mid-writeback: report its data but no
+		// retained copy.
+		l.discoverHits.Inc()
+		resp.Found = true
+		if buf.dirty {
+			resp.Data, resp.HasData, resp.Dirty = buf.data, true, true
+		}
+	}
+	l.send(resp)
+}

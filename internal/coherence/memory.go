@@ -1,0 +1,45 @@
+package coherence
+
+import (
+	"repro/internal/mem"
+	"repro/internal/stats"
+)
+
+// Memory is the off-chip DRAM model: a flat value store with fixed access
+// latency (imposed by the banks via the engine) and access counting for the
+// energy model. Reads of never-written blocks return zero, matching the
+// value oracle's initial state.
+type Memory struct {
+	values map[mem.Block]uint64
+
+	set    *stats.Set
+	reads  *stats.Counter
+	writes *stats.Counter
+}
+
+// NewMemory returns an empty memory.
+func NewMemory() *Memory {
+	m := &Memory{
+		values: make(map[mem.Block]uint64),
+		set:    stats.NewSet("memory"),
+	}
+	m.reads = m.set.Counter("reads")
+	m.writes = m.set.Counter("writes")
+	return m
+}
+
+// Read returns the value of block b, counting one DRAM read.
+func (m *Memory) Read(b mem.Block) uint64 {
+	m.reads.Inc()
+	return m.values[b]
+}
+
+// Write stores the value of block b, counting one DRAM write. Writebacks
+// are posted: the caller does not wait.
+func (m *Memory) Write(b mem.Block, v uint64) {
+	m.writes.Inc()
+	m.values[b] = v
+}
+
+// Stats returns the memory metric set.
+func (m *Memory) Stats() *stats.Set { return m.set }

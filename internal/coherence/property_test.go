@@ -1,0 +1,246 @@
+package coherence
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/mem"
+)
+
+// randomSources builds per-core access streams over a mixed footprint:
+// core-private regions plus a shared region with writes, which exercises
+// every protocol path (sharing, invalidation, upgrades, recalls,
+// stash/discovery, LLC evictions).
+func randomSources(cores, perCore, sharedBlocks, privateBlocks int, writeFrac float64, seed int64) []AccessSource {
+	srcs := make([]AccessSource, cores)
+	for c := 0; c < cores; c++ {
+		rng := rand.New(rand.NewSource(seed + int64(c)*977))
+		accs := make([]mem.Access, perCore)
+		for i := range accs {
+			var b mem.Block
+			if rng.Float64() < 0.4 {
+				b = mem.Block(rng.Intn(sharedBlocks)) // shared region
+			} else {
+				b = mem.Block(1000 + c*privateBlocks + rng.Intn(privateBlocks))
+			}
+			accs[i] = mem.Access{Addr: mem.AddrOf(b), Write: rng.Float64() < writeFrac}
+		}
+		srcs[c] = &SliceSource{Accesses: accs}
+	}
+	return srcs
+}
+
+// runRandom drives a random workload on a fabric and fails on any
+// correctness problem (deadlock, oracle, audit).
+func runRandom(t *testing.T, mk dirFactory, cores int, seed int64, opts ...fabricOpt) *Fabric {
+	t.Helper()
+	f := testFabric(t, cores, mk, opts...)
+	srcs := randomSources(cores, 400, 12, 30, 0.3, seed)
+	procs, err := f.AttachProcessors(srcs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Drive(procs, 50_000_000); err != nil {
+		t.Fatalf("seed %d: %v", seed, err)
+	}
+	return f
+}
+
+func TestRandomConcurrentAllOrganizations(t *testing.T) {
+	factories := map[string]dirFactory{
+		"fullmap": fullMapFactory(),
+		"sparse":  sparseFactory(2, 2, 0),
+		"stash":   stashFactory(2, 2, 0, false),
+		"stash-s": stashFactory(2, 2, 0, true),
+		"cuckoo":  cuckooFactory(2, 4),
+	}
+	for name, mk := range factories {
+		for seed := int64(1); seed <= 4; seed++ {
+			t.Run(fmt.Sprintf("%s/seed%d", name, seed), func(t *testing.T) {
+				runRandom(t, mk, 4, seed)
+			})
+		}
+	}
+}
+
+func TestRandomConcurrentSilentEvictions(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		runRandom(t, stashFactory(2, 2, 0, false), 4, seed, withSilentEvictions())
+		runRandom(t, sparseFactory(2, 2, 0), 4, seed, withSilentEvictions())
+	}
+}
+
+func TestRandomHighContention(t *testing.T) {
+	// Every core hammers the same 4 blocks with 50% writes: maximal
+	// invalidation/upgrade churn.
+	for _, mk := range []dirFactory{fullMapFactory(), stashFactory(1, 2, 0, false)} {
+		f := testFabric(t, 4, mk)
+		srcs := make([]AccessSource, 4)
+		for c := 0; c < 4; c++ {
+			rng := rand.New(rand.NewSource(int64(c) + 99))
+			accs := make([]mem.Access, 300)
+			for i := range accs {
+				accs[i] = mem.Access{
+					Addr:  mem.AddrOf(mem.Block(rng.Intn(4))),
+					Write: rng.Intn(2) == 0,
+				}
+			}
+			srcs[c] = &SliceSource{Accesses: accs}
+		}
+		procs, _ := f.AttachProcessors(srcs)
+		if err := f.Drive(procs, 50_000_000); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestRandomTinyEverything(t *testing.T) {
+	// 1-line L1s, 2-line LLC banks, 1-entry directories: maximal eviction
+	// churn through every corner case.
+	for seed := int64(1); seed <= 3; seed++ {
+		f := testFabric(t, 4, stashFactory(1, 1, 0, false),
+			withL1(1, 1), withLLC(1, 2))
+		srcs := randomSources(4, 200, 6, 4, 0.4, seed)
+		procs, _ := f.AttachProcessors(srcs)
+		if err := f.Drive(procs, 50_000_000); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+func TestRandomSixteenCores(t *testing.T) {
+	runRandom(t, stashFactory(2, 2, 0, false), 16, 7)
+	runRandom(t, sparseFactory(2, 2, 0), 16, 7)
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	run := func() (uint64, int64) {
+		f := testFabric(t, 4, stashFactory(2, 2, 0, false))
+		srcs := randomSources(4, 200, 8, 16, 0.3, 42)
+		procs, _ := f.AttachProcessors(srcs)
+		if err := f.Drive(procs, 0); err != nil {
+			t.Fatal(err)
+		}
+		return uint64(f.Engine.Now()), f.Mesh.TotalFlitHops()
+	}
+	c1, t1 := run()
+	c2, t2 := run()
+	if c1 != c2 || t1 != t2 {
+		t.Fatalf("non-deterministic: cycles %d vs %d, traffic %d vs %d", c1, c2, t1, t2)
+	}
+}
+
+// --- failure injection: the checkers must catch broken protocols -----------
+
+// brokenStash wraps a stash directory but hides the AllocStashed outcome,
+// simulating a stash directory that forgets to set the hidden bit. The
+// cached copy becomes untracked and undiscoverable — the value oracle (or
+// the audit) must catch the resulting staleness.
+type brokenStash struct {
+	*core.Stash
+}
+
+func (d *brokenStash) Allocate(b mem.Block, busy func(mem.Block) bool) core.AllocResult {
+	res := d.Stash.Allocate(b, busy)
+	if res.Outcome == core.AllocStashed {
+		res.Outcome = core.AllocOK
+		res.Stashed = core.Stashed{}
+	}
+	return res
+}
+
+func TestCheckerCatchesMissingHiddenBit(t *testing.T) {
+	f := testFabric(t, 4, func(int) (core.Directory, error) {
+		s, err := core.NewStash(core.StashConfig{AssocConfig: core.AssocConfig{Sets: 1, Ways: 1}})
+		if err != nil {
+			return nil, err
+		}
+		return &brokenStash{Stash: s}, nil
+	})
+	// Core 0 dirties block 0; the broken directory silently drops its
+	// entry without marking it hidden; core 1 then reads stale LLC data.
+	store(t, f, 0, 0)
+	load(t, f, 0, 4) // forces the (broken) stash eviction
+	load(t, f, 1, 0) // reads the stale LLC copy
+	f.Engine.Run(0)
+	oracleErr := f.Checker.Err()
+	auditBad := Audit(f)
+	if oracleErr == nil && len(auditBad) == 0 {
+		t.Fatal("neither the oracle nor the audit caught a lost hidden bit")
+	}
+}
+
+func TestAuditCatchesSWMRViolation(t *testing.T) {
+	f := testFabric(t, 4, fullMapFactory())
+	load(t, f, 0, 3)
+	load(t, f, 1, 3)
+	// Corrupt: force core 0's Shared copy to Modified.
+	f.L1s[0].Cache().Probe(3).State = mem.Modified
+	if bad := Audit(f); len(bad) == 0 {
+		t.Fatal("audit missed an SWMR violation")
+	}
+}
+
+func TestAuditCatchesLostTracking(t *testing.T) {
+	f := testFabric(t, 4, fullMapFactory())
+	load(t, f, 0, 3)
+	f.Banks[f.HomeBank(3)].Directory().Remove(3)
+	if bad := Audit(f); len(bad) == 0 {
+		t.Fatal("audit missed a lost directory entry")
+	}
+}
+
+func TestAuditCatchesInclusionViolation(t *testing.T) {
+	f := testFabric(t, 4, fullMapFactory())
+	load(t, f, 0, 3)
+	bk := f.Banks[f.HomeBank(3)]
+	bk.LLC().Evict(bk.LLC().Probe(3))
+	if bad := Audit(f); len(bad) == 0 {
+		t.Fatal("audit missed an inclusion violation")
+	}
+}
+
+func TestOracleCatchesCorruptedData(t *testing.T) {
+	f := testFabric(t, 4, fullMapFactory())
+	store(t, f, 0, 3)
+	f.L1s[0].Cache().Probe(3).Data = 0xdeadbeef // bit flip
+	load(t, f, 0, 3)
+	if f.Checker.Err() == nil {
+		t.Fatal("oracle missed corrupted data")
+	}
+}
+
+func TestCheckerDisabled(t *testing.T) {
+	f := testFabric(t, 4, fullMapFactory())
+	f.Checker.SetEnabled(false)
+	store(t, f, 0, 3)
+	f.L1s[0].Cache().Probe(3).Data = 0xdeadbeef
+	load(t, f, 0, 3)
+	if f.Checker.Err() != nil {
+		t.Fatal("disabled checker still reported")
+	}
+}
+
+// TestFuzzedEventOrder runs concurrent random workloads under permuted
+// same-cycle event ordering: the protocol must not depend on the engine's
+// accidental FIFO tie-breaking. Any ordering bug shows up as an oracle or
+// audit failure (or a deadlock).
+func TestFuzzedEventOrder(t *testing.T) {
+	for _, mk := range []dirFactory{
+		stashFactory(1, 2, 0, false),
+		sparseFactory(1, 2, 0),
+		cuckooFactory(2, 4),
+	} {
+		for shuffle := uint64(1); shuffle <= 5; shuffle++ {
+			f := testFabric(t, 4, mk, withL1(2, 2), withLLC(2, 2))
+			f.Engine.SetShuffleSeed(shuffle)
+			srcs := randomSources(4, 300, 8, 6, 0.4, int64(shuffle))
+			procs, _ := f.AttachProcessors(srcs)
+			if err := f.Drive(procs, 50_000_000); err != nil {
+				t.Fatalf("shuffle seed %d: %v", shuffle, err)
+			}
+		}
+	}
+}

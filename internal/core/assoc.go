@@ -1,0 +1,198 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/mem"
+	"repro/internal/stats"
+)
+
+// AssocConfig describes a set-associative directory's geometry. Both the
+// conventional Sparse directory and the Stash directory use it.
+type AssocConfig struct {
+	Sets int // power of two
+	Ways int
+	// IndexShift drops low block bits before set indexing, mirroring
+	// cache.Config: directory slices are address-interleaved across banks
+	// on the low block bits.
+	IndexShift uint
+	Policy     cache.PolicyKind
+	Seed       int64
+}
+
+// Validate checks the geometry.
+func (c AssocConfig) Validate() error {
+	if c.Sets <= 0 || c.Sets&(c.Sets-1) != 0 {
+		return fmt.Errorf("core: directory sets must be a positive power of two, got %d", c.Sets)
+	}
+	if c.Ways < 1 {
+		return fmt.Errorf("core: directory ways must be >= 1, got %d", c.Ways)
+	}
+	return nil
+}
+
+// assocStore is the shared set-associative entry array with replacement
+// state. It has no eviction semantics of its own; Sparse and Stash build
+// their policies on top.
+type assocStore struct {
+	cfg     AssocConfig
+	entries []Entry
+	policy  cache.Policy
+	mask    mem.Block
+}
+
+func newAssocStore(cfg AssocConfig) (*assocStore, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	pol, err := cache.NewPolicy(cfg.Policy, cfg.Sets, cfg.Ways, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	s := &assocStore{
+		cfg:     cfg,
+		entries: make([]Entry, cfg.Sets*cfg.Ways),
+		policy:  pol,
+		mask:    mem.Block(cfg.Sets - 1),
+	}
+	for i := range s.entries {
+		s.entries[i].set = int32(i / cfg.Ways)
+		s.entries[i].way = int32(i % cfg.Ways)
+	}
+	return s, nil
+}
+
+func (s *assocStore) capacity() int { return s.cfg.Sets * s.cfg.Ways }
+
+func (s *assocStore) setIndex(b mem.Block) int {
+	return int((b >> s.cfg.IndexShift) & s.mask)
+}
+
+func (s *assocStore) entry(set, way int) *Entry {
+	return &s.entries[set*s.cfg.Ways+way]
+}
+
+// find returns the valid entry for b, or nil.
+func (s *assocStore) find(b mem.Block) *Entry {
+	set := s.setIndex(b)
+	for w := 0; w < s.cfg.Ways; w++ {
+		e := s.entry(set, w)
+		if e.valid && e.Block == b {
+			return e
+		}
+	}
+	return nil
+}
+
+// touch marks e as most recently used.
+func (s *assocStore) touch(e *Entry) {
+	s.policy.Touch(int(e.set), int(e.way))
+}
+
+// freeSlot returns an invalid entry in b's set, or nil.
+func (s *assocStore) freeSlot(b mem.Block) *Entry {
+	set := s.setIndex(b)
+	for w := 0; w < s.cfg.Ways; w++ {
+		e := s.entry(set, w)
+		if !e.valid {
+			return e
+		}
+	}
+	return nil
+}
+
+// install claims slot e for block b and marks it MRU. The slot must belong
+// to b's set and be invalid.
+func (s *assocStore) install(e *Entry, b mem.Block) {
+	if e.valid {
+		panic("core: installing into a valid directory slot")
+	}
+	if int(e.set) != s.setIndex(b) {
+		panic(fmt.Sprintf("core: installing block %#x into wrong directory set %d", uint64(b), e.set))
+	}
+	e.reset(b)
+	s.policy.Insert(int(e.set), int(e.way))
+}
+
+// victim picks the replacement victim in b's set subject to two exclusion
+// predicates: excluded (hard: in-flight transactions) and prefer (soft:
+// when preferOnly is true, only entries satisfying prefer are candidates).
+// It returns nil when no candidate survives.
+func (s *assocStore) victim(b mem.Block, excluded func(*Entry) bool, preferOnly bool, prefer func(*Entry) bool) *Entry {
+	set := s.setIndex(b)
+	w := s.policy.Victim(set, func(way int) bool {
+		e := s.entry(set, way)
+		if excluded != nil && excluded(e) {
+			return true
+		}
+		if preferOnly && prefer != nil && !prefer(e) {
+			return true
+		}
+		return false
+	})
+	if w < 0 {
+		return nil
+	}
+	return s.entry(set, w)
+}
+
+// remove invalidates the entry for b, if tracked.
+func (s *assocStore) remove(b mem.Block) bool {
+	if e := s.find(b); e != nil {
+		e.valid = false
+		e.Sharers = 0
+		e.Owned = false
+		e.Overflowed = false
+		return true
+	}
+	return false
+}
+
+func (s *assocStore) occupied() int {
+	n := 0
+	for i := range s.entries {
+		if s.entries[i].valid {
+			n++
+		}
+	}
+	return n
+}
+
+func (s *assocStore) forEach(fn func(*Entry)) {
+	for i := range s.entries {
+		if s.entries[i].valid {
+			fn(&s.entries[i])
+		}
+	}
+}
+
+// dirStats bundles the counters every bounded organization reports.
+type dirStats struct {
+	set       *stats.Set
+	lookups   *stats.Counter
+	hits      *stats.Counter
+	misses    *stats.Counter
+	allocs    *stats.Counter
+	removes   *stats.Counter
+	recalls   *stats.Counter // evictions requiring back-invalidation
+	stashes   *stats.Counter // silent private-entry drops (stash only)
+	blocked   *stats.Counter // allocations deferred by busy transactions
+	relocates *stats.Counter // cuckoo path relocations
+}
+
+func newDirStats(name string) *dirStats {
+	s := stats.NewSet(name)
+	return &dirStats{
+		set:       s,
+		lookups:   s.Counter("lookups"),
+		hits:      s.Counter("hits"),
+		misses:    s.Counter("misses"),
+		allocs:    s.Counter("allocations"),
+		removes:   s.Counter("removals"),
+		recalls:   s.Counter("recall_evictions"),
+		stashes:   s.Counter("stash_evictions"),
+		blocked:   s.Counter("alloc_blocked"),
+		relocates: s.Counter("relocations"),
+	}
+}

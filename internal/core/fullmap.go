@@ -1,0 +1,101 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/mem"
+	"repro/internal/stats"
+)
+
+// FullMap is the ideal, unbounded directory: one entry per tracked block,
+// no conflicts, no evictions. It serves as the performance upper bound in
+// the coverage-sweep experiments and as the correctness reference in the
+// differential protocol tests.
+type FullMap struct {
+	entries map[mem.Block]*Entry
+
+	set     *stats.Set
+	lookups *stats.Counter
+	hits    *stats.Counter
+	misses  *stats.Counter
+	allocs  *stats.Counter
+	removes *stats.Counter
+}
+
+var _ Directory = (*FullMap)(nil)
+
+// NewFullMap returns an empty ideal directory.
+func NewFullMap() *FullMap {
+	d := &FullMap{
+		entries: make(map[mem.Block]*Entry),
+		set:     stats.NewSet("dir.fullmap"),
+	}
+	d.lookups = d.set.Counter("lookups")
+	d.hits = d.set.Counter("hits")
+	d.misses = d.set.Counter("misses")
+	d.allocs = d.set.Counter("allocations")
+	d.removes = d.set.Counter("removals")
+	return d
+}
+
+// Name implements Directory.
+func (d *FullMap) Name() string { return "fullmap" }
+
+// Capacity implements Directory; the full map is unbounded.
+func (d *FullMap) Capacity() int { return 0 }
+
+// Lookup implements Directory.
+func (d *FullMap) Lookup(b mem.Block) *Entry {
+	d.lookups.Inc()
+	if e, ok := d.entries[b]; ok {
+		d.hits.Inc()
+		return e
+	}
+	d.misses.Inc()
+	return nil
+}
+
+// Probe implements Directory.
+func (d *FullMap) Probe(b mem.Block) *Entry {
+	return d.entries[b]
+}
+
+// Allocate implements Directory; it always succeeds.
+func (d *FullMap) Allocate(b mem.Block, busy func(mem.Block) bool) AllocResult {
+	if _, ok := d.entries[b]; ok {
+		panic("core: fullmap Allocate for already-tracked block")
+	}
+	e := &Entry{}
+	e.reset(b)
+	d.entries[b] = e
+	d.allocs.Inc()
+	return AllocResult{Outcome: AllocOK, Entry: e}
+}
+
+// Remove implements Directory.
+func (d *FullMap) Remove(b mem.Block) {
+	if e, ok := d.entries[b]; ok {
+		e.valid = false
+		delete(d.entries, b)
+		d.removes.Inc()
+	}
+}
+
+// OccupiedEntries implements Directory.
+func (d *FullMap) OccupiedEntries() int { return len(d.entries) }
+
+// ForEach implements Directory; iteration is in ascending block order so
+// audits are deterministic.
+func (d *FullMap) ForEach(fn func(*Entry)) {
+	blocks := make([]mem.Block, 0, len(d.entries))
+	for b := range d.entries {
+		blocks = append(blocks, b)
+	}
+	sort.Slice(blocks, func(i, j int) bool { return blocks[i] < blocks[j] })
+	for _, b := range blocks {
+		fn(d.entries[b])
+	}
+}
+
+// Stats implements Directory.
+func (d *FullMap) Stats() *stats.Set { return d.set }

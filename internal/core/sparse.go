@@ -1,0 +1,86 @@
+package core
+
+import (
+	"repro/internal/mem"
+	"repro/internal/stats"
+)
+
+// Sparse is the conventional set-associative sparse directory the paper
+// uses as its baseline. It enforces strict inclusion: every block cached in
+// any private cache has a directory entry, so evicting an entry on a set
+// conflict forces the caller to recall (back-invalidate) every tracked
+// copy — the "coverage misses" that make under-provisioned sparse
+// directories slow.
+type Sparse struct {
+	store *assocStore
+	st    *dirStats
+}
+
+var _ Directory = (*Sparse)(nil)
+
+// NewSparse builds a sparse directory with the given geometry.
+func NewSparse(cfg AssocConfig) (*Sparse, error) {
+	store, err := newAssocStore(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Sparse{store: store, st: newDirStats("dir.sparse")}, nil
+}
+
+// Name implements Directory.
+func (d *Sparse) Name() string { return "sparse" }
+
+// Capacity implements Directory.
+func (d *Sparse) Capacity() int { return d.store.capacity() }
+
+// Lookup implements Directory.
+func (d *Sparse) Lookup(b mem.Block) *Entry {
+	d.st.lookups.Inc()
+	if e := d.store.find(b); e != nil {
+		d.st.hits.Inc()
+		d.store.touch(e)
+		return e
+	}
+	d.st.misses.Inc()
+	return nil
+}
+
+// Probe implements Directory.
+func (d *Sparse) Probe(b mem.Block) *Entry { return d.store.find(b) }
+
+// Allocate implements Directory. On a full set it demands a recall of the
+// replacement victim; inclusion forbids anything cheaper.
+func (d *Sparse) Allocate(b mem.Block, busy func(mem.Block) bool) AllocResult {
+	if d.store.find(b) != nil {
+		panic("core: sparse Allocate for already-tracked block")
+	}
+	if e := d.store.freeSlot(b); e != nil {
+		d.store.install(e, b)
+		d.st.allocs.Inc()
+		return AllocResult{Outcome: AllocOK, Entry: e}
+	}
+	excluded := func(e *Entry) bool { return busy != nil && busy(e.Block) }
+	v := d.store.victim(b, excluded, false, nil)
+	if v == nil {
+		d.st.blocked.Inc()
+		return AllocResult{Outcome: AllocBlocked}
+	}
+	d.st.recalls.Inc()
+	return AllocResult{Outcome: AllocNeedsRecall, Victim: v}
+}
+
+// Remove implements Directory.
+func (d *Sparse) Remove(b mem.Block) {
+	if d.store.remove(b) {
+		d.st.removes.Inc()
+	}
+}
+
+// OccupiedEntries implements Directory.
+func (d *Sparse) OccupiedEntries() int { return d.store.occupied() }
+
+// ForEach implements Directory.
+func (d *Sparse) ForEach(fn func(*Entry)) { d.store.forEach(fn) }
+
+// Stats implements Directory.
+func (d *Sparse) Stats() *stats.Set { return d.st.set }

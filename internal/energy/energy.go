@@ -1,0 +1,121 @@
+// Package energy estimates directory-system energy from simulation event
+// counts, reproducing the relative energy comparisons of the paper's
+// evaluation. The per-event and leakage constants are CACTI-flavored round
+// numbers; the experiments report energy *normalized* to a baseline
+// configuration, so only the relative magnitudes matter — which is also how
+// the paper presents energy.
+package energy
+
+import "fmt"
+
+// Model holds per-event dynamic energies (picojoules) and per-cycle leakage
+// (picojoules per cycle per tracked unit). Directory energies are per entry
+// *slot* touched, so larger/wider directories cost proportionally more.
+type Model struct {
+	// Dynamic energy per event.
+	DirAccessPJPerWay float64 // per directory way examined on a lookup
+	DirUpdatePJ       float64 // per entry write (alloc/update/remove)
+	L1AccessPJ        float64
+	LLCAccessPJ       float64
+	FlitHopPJ         float64 // per flit per hop on the mesh
+	MemAccessPJ       float64 // per DRAM read or write
+
+	// Leakage per cycle.
+	DirLeakPJPerEntry float64 // per directory entry slot per kilocycle
+	LLCLeakPJPerLine  float64 // per LLC line per kilocycle
+}
+
+// Default returns the model used by the experiments. Magnitudes follow the
+// usual SRAM scaling: a directory entry is ~8 bytes (tag + 64-bit sharer
+// vector) vs a 64-byte LLC line; DRAM costs ~two orders of magnitude more
+// than an SRAM access; mesh flit-hops sit between L1 and LLC accesses.
+func Default() Model {
+	return Model{
+		DirAccessPJPerWay: 0.6,
+		DirUpdatePJ:       1.2,
+		L1AccessPJ:        10,
+		LLCAccessPJ:       50,
+		FlitHopPJ:         2.5,
+		MemAccessPJ:       5000,
+		DirLeakPJPerEntry: 0.02,
+		LLCLeakPJPerLine:  0.15,
+	}
+}
+
+// Counts are the event totals a simulation produced; internal/system fills
+// them from the statistics sets.
+type Counts struct {
+	Cycles uint64
+
+	DirLookups int64 // each examines DirWays ways
+	DirWays    int
+	DirUpdates int64 // allocations + removals + sharer updates (approx.)
+	DirEntries int   // total slots, for leakage
+	// DirEntryBits is the width of one directory entry (tag + state +
+	// sharer storage); 0 means the reference full-map width (92 bits:
+	// 28-bit overhead + 64-bit vector). Dynamic and leakage directory
+	// energy scale linearly with it.
+	DirEntryBits int
+
+	L1Accesses  int64
+	LLCAccesses int64
+	LLCLines    int
+	FlitHops    int64
+	MemAccesses int64
+}
+
+// Breakdown is the estimated energy by component, in nanojoules.
+type Breakdown struct {
+	DirDynamic float64
+	DirLeakage float64
+	L1Dynamic  float64
+	LLCDynamic float64
+	LLCLeakage float64
+	Network    float64
+	Memory     float64
+}
+
+// Total returns the sum of all components.
+func (b Breakdown) Total() float64 {
+	return b.DirDynamic + b.DirLeakage + b.L1Dynamic + b.LLCDynamic + b.LLCLeakage + b.Network + b.Memory
+}
+
+// DirTotal returns directory energy (dynamic + leakage) — the quantity the
+// paper's directory-energy figure plots.
+func (b Breakdown) DirTotal() float64 { return b.DirDynamic + b.DirLeakage }
+
+func (b Breakdown) String() string {
+	return fmt.Sprintf("dir=%.1f+%.1f l1=%.1f llc=%.1f+%.1f net=%.1f mem=%.1f total=%.1f nJ",
+		b.DirDynamic, b.DirLeakage, b.L1Dynamic, b.LLCDynamic, b.LLCLeakage,
+		b.Network, b.Memory, b.Total())
+}
+
+// Compute estimates the energy for the given event counts.
+func (m Model) Compute(c Counts) Breakdown {
+	kilocycles := float64(c.Cycles) / 1000
+	const refEntryBits = 92.0
+	width := 1.0
+	if c.DirEntryBits > 0 {
+		width = float64(c.DirEntryBits) / refEntryBits
+	}
+	pj := Breakdown{
+		DirDynamic: (float64(c.DirLookups)*m.DirAccessPJPerWay*float64(c.DirWays) +
+			float64(c.DirUpdates)*m.DirUpdatePJ) * width,
+		DirLeakage: float64(c.DirEntries) * m.DirLeakPJPerEntry * kilocycles * width,
+		L1Dynamic:  float64(c.L1Accesses) * m.L1AccessPJ,
+		LLCDynamic: float64(c.LLCAccesses) * m.LLCAccessPJ,
+		LLCLeakage: float64(c.LLCLines) * m.LLCLeakPJPerLine * kilocycles,
+		Network:    float64(c.FlitHops) * m.FlitHopPJ,
+		Memory:     float64(c.MemAccesses) * m.MemAccessPJ,
+	}
+	// pJ → nJ.
+	return Breakdown{
+		DirDynamic: pj.DirDynamic / 1000,
+		DirLeakage: pj.DirLeakage / 1000,
+		L1Dynamic:  pj.L1Dynamic / 1000,
+		LLCDynamic: pj.LLCDynamic / 1000,
+		LLCLeakage: pj.LLCLeakage / 1000,
+		Network:    pj.Network / 1000,
+		Memory:     pj.Memory / 1000,
+	}
+}

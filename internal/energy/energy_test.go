@@ -1,0 +1,108 @@
+package energy
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func baseCounts() Counts {
+	return Counts{
+		Cycles:      1_000_000,
+		DirLookups:  100_000,
+		DirWays:     4,
+		DirUpdates:  50_000,
+		DirEntries:  8192,
+		L1Accesses:  1_000_000,
+		LLCAccesses: 150_000,
+		LLCLines:    262_144,
+		FlitHops:    2_000_000,
+		MemAccesses: 20_000,
+	}
+}
+
+func TestComputePositiveAndAdditive(t *testing.T) {
+	b := Default().Compute(baseCounts())
+	if b.Total() <= 0 {
+		t.Fatal("non-positive total")
+	}
+	sum := b.DirDynamic + b.DirLeakage + b.L1Dynamic + b.LLCDynamic + b.LLCLeakage + b.Network + b.Memory
+	if sum != b.Total() {
+		t.Fatalf("Total %v != component sum %v", b.Total(), sum)
+	}
+	if b.DirTotal() != b.DirDynamic+b.DirLeakage {
+		t.Fatal("DirTotal wrong")
+	}
+	if !strings.Contains(b.String(), "total=") {
+		t.Fatalf("String() = %q", b.String())
+	}
+}
+
+func TestSmallerDirectoryLeaksLess(t *testing.T) {
+	m := Default()
+	big := baseCounts()
+	small := baseCounts()
+	small.DirEntries = big.DirEntries / 8
+	if !(m.Compute(small).DirLeakage < m.Compute(big).DirLeakage) {
+		t.Fatal("1/8 directory does not leak less")
+	}
+}
+
+func TestZeroCountsZeroEnergy(t *testing.T) {
+	b := Default().Compute(Counts{})
+	if b.Total() != 0 {
+		t.Fatalf("zero counts produced %v nJ", b.Total())
+	}
+}
+
+func TestEnergyMonotoneInEveryCount(t *testing.T) {
+	m := Default()
+	base := m.Compute(baseCounts()).Total()
+	bumps := []func(*Counts){
+		func(c *Counts) { c.DirLookups *= 2 },
+		func(c *Counts) { c.DirUpdates *= 2 },
+		func(c *Counts) { c.L1Accesses *= 2 },
+		func(c *Counts) { c.LLCAccesses *= 2 },
+		func(c *Counts) { c.FlitHops *= 2 },
+		func(c *Counts) { c.MemAccesses *= 2 },
+		func(c *Counts) { c.Cycles *= 2 },
+	}
+	for i, bump := range bumps {
+		c := baseCounts()
+		bump(&c)
+		if got := m.Compute(c).Total(); got <= base {
+			t.Errorf("bump %d did not increase energy: %v <= %v", i, got, base)
+		}
+	}
+}
+
+func TestEnergyNonNegativeProperty(t *testing.T) {
+	m := Default()
+	f := func(lookups, updates, l1, llc, hops, mem uint32, cyc uint32) bool {
+		b := m.Compute(Counts{
+			Cycles:      uint64(cyc),
+			DirLookups:  int64(lookups),
+			DirWays:     4,
+			DirUpdates:  int64(updates),
+			DirEntries:  1024,
+			L1Accesses:  int64(l1),
+			LLCAccesses: int64(llc),
+			LLCLines:    4096,
+			FlitHops:    int64(hops),
+			MemAccesses: int64(mem),
+		})
+		return b.Total() >= 0 && b.DirTotal() >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMemoryDominatesPerEvent(t *testing.T) {
+	// Relative magnitude sanity: one DRAM access must cost more than one
+	// LLC access, which costs more than one L1 access.
+	m := Default()
+	if !(m.MemAccessPJ > m.LLCAccessPJ && m.LLCAccessPJ > m.L1AccessPJ) {
+		t.Fatal("energy magnitudes out of order")
+	}
+}

@@ -1,0 +1,295 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (as reconstructed in DESIGN.md). Each ExpXxx function runs the
+// simulations it needs — memoizing them in the Harness so figures that
+// share configurations (execution time, miss rate, traffic, energy all come
+// from the same sweep) reuse runs — and renders the same rows/series the
+// paper reports.
+//
+// EXPERIMENTS.md records the expected shapes and the measured outcomes.
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"strings"
+	"sync"
+
+	"repro/internal/stats"
+	"repro/internal/system"
+	"repro/internal/workloads"
+)
+
+// Coverages is the directory-size axis of the paper's sweeps: directory
+// entries as a fraction of aggregate L1 capacity.
+var Coverages = []float64{2, 1, 0.5, 0.25, 0.125, 0.0625}
+
+// Options scope a harness run.
+type Options struct {
+	// Quick selects the proportionally scaled-down machine (see
+	// system.QuickConfig); Full uses the paper-size model.
+	Quick bool
+	// Workloads restricts the suite; nil means every built-in workload.
+	Workloads []string
+	// Progress, when non-nil, receives one line per completed simulation.
+	Progress func(msg string)
+	// ConfigHook, when non-nil, post-processes every base configuration;
+	// tests use it to shrink runs further.
+	ConfigHook func(*system.Config)
+	// Parallel is how many simulations may run concurrently when an
+	// experiment batches independent runs (sweeps). 0 or 1 means
+	// sequential; negative means GOMAXPROCS.
+	Parallel int
+}
+
+// Harness memoizes simulation runs across experiments. It is safe for the
+// batched runners below; the per-figure methods themselves are not meant to
+// be called from multiple goroutines.
+type Harness struct {
+	opts  Options
+	mu    sync.Mutex
+	cache map[string]*system.Results
+}
+
+// NewHarness returns a harness with an empty run cache.
+func NewHarness(opts Options) *Harness {
+	return &Harness{opts: opts, cache: make(map[string]*system.Results)}
+}
+
+// workloadList resolves the workload set.
+func (h *Harness) workloadList() []string {
+	if len(h.opts.Workloads) != 0 {
+		return h.opts.Workloads
+	}
+	return workloads.Names()
+}
+
+// baseConfig builds the scoped base configuration for a workload.
+func (h *Harness) baseConfig(workload string) system.Config {
+	var cfg system.Config
+	if h.opts.Quick {
+		cfg = system.QuickConfig(workload)
+	} else {
+		cfg = system.DefaultConfig(workload)
+	}
+	if h.opts.ConfigHook != nil {
+		h.opts.ConfigHook(&cfg)
+	}
+	return cfg
+}
+
+// key canonicalizes a config for memoization.
+func key(c system.Config) string {
+	return fmt.Sprintf("%s|%s|%g|%d|%d|%d|%d|%d|%d|%d|%d|%v|%d|%d|%g|%d|%v|%d|%v|%d|%d",
+		c.WorkloadName(), c.DirKind, c.Coverage, c.DirWays, c.Cores,
+		c.L1Sets, c.L1Ways, c.L2Sets, c.L2Ways, c.LLCSetsPerBank, c.LLCWays,
+		c.SilentCleanEvictions, c.AccessesPerCore, c.Seed, c.WorkloadScale,
+		c.SamplePeriod, c.Checker, c.ReplacementPolicy,
+		c.ThreeHopForwarding, c.MSHRs, c.PointerLimit)
+}
+
+// run executes (or recalls) one simulation.
+func (h *Harness) run(cfg system.Config) (*system.Results, error) {
+	k := key(cfg)
+	h.mu.Lock()
+	if r, ok := h.cache[k]; ok {
+		h.mu.Unlock()
+		return r, nil
+	}
+	h.mu.Unlock()
+	r, err := system.Run(cfg)
+	if err != nil {
+		return nil, err
+	}
+	h.mu.Lock()
+	h.cache[k] = r
+	progress := h.opts.Progress
+	h.mu.Unlock()
+	if progress != nil {
+		progress(fmt.Sprintf("ran %s/%s cov=%.4g cores=%d: %d cycles",
+			cfg.DirKind, cfg.WorkloadName(), cfg.Coverage, cfg.Cores, r.Cycles))
+	}
+	return r, nil
+}
+
+// runAll executes a batch of independent configurations, up to
+// Options.Parallel at a time, filling the memo cache. Simulations are
+// single-threaded and deterministic, so running several concurrently
+// changes wall-clock time only.
+func (h *Harness) runAll(cfgs []system.Config) error {
+	par := h.opts.Parallel
+	if par < 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	if par <= 1 || len(cfgs) <= 1 {
+		for _, cfg := range cfgs {
+			if _, err := h.run(cfg); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	// Deduplicate by memo key so one config is never simulated twice
+	// concurrently.
+	seen := map[string]bool{}
+	var unique []system.Config
+	for _, cfg := range cfgs {
+		k := key(cfg)
+		if !seen[k] {
+			seen[k] = true
+			unique = append(unique, cfg)
+		}
+	}
+	sem := make(chan struct{}, par)
+	var wg sync.WaitGroup
+	var errMu sync.Mutex
+	var firstErr error
+	for _, cfg := range unique {
+		cfg := cfg
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer func() { <-sem; wg.Done() }()
+			if _, err := h.run(cfg); err != nil {
+				errMu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				errMu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// sweep runs (workload x coverage) for one directory kind, batching the
+// runs through runAll so Options.Parallel applies.
+func (h *Harness) sweep(kind string, mutate func(*system.Config)) (map[string]map[float64]*system.Results, error) {
+	var batch []system.Config
+	for _, w := range h.workloadList() {
+		for _, cov := range Coverages {
+			cfg := h.baseConfig(w)
+			cfg.DirKind = kind
+			cfg.Coverage = cov
+			if mutate != nil {
+				mutate(&cfg)
+			}
+			batch = append(batch, cfg)
+		}
+	}
+	if err := h.runAll(batch); err != nil {
+		return nil, err
+	}
+	out := make(map[string]map[float64]*system.Results)
+	i := 0
+	for _, w := range h.workloadList() {
+		out[w] = make(map[float64]*system.Results)
+		for _, cov := range Coverages {
+			r, err := h.run(batch[i]) // memo hit
+			if err != nil {
+				return nil, err
+			}
+			out[w][cov] = r
+			i++
+		}
+	}
+	return out, nil
+}
+
+// baseline returns the normalization baseline: the conventional sparse
+// directory at 1x coverage (the "well-provisioned sparse" configuration).
+func (h *Harness) baseline(workload string) (*system.Results, error) {
+	cfg := h.baseConfig(workload)
+	cfg.DirKind = system.DirSparse
+	cfg.Coverage = 1
+	return h.run(cfg)
+}
+
+// geomean of a non-empty slice.
+func geomean(vs []float64) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range vs {
+		if v <= 0 {
+			return 0
+		}
+		sum += math.Log(v)
+	}
+	return math.Exp(sum / float64(len(vs)))
+}
+
+// covLabel formats a coverage as the paper does (2x, 1x, 1/2, 1/4 ...).
+func covLabel(c float64) string {
+	if c >= 1 {
+		return fmt.Sprintf("%gx", c)
+	}
+	return fmt.Sprintf("1/%g", 1/c)
+}
+
+// SweepResult is the shared shape of the coverage-sweep figures: a rendered
+// table plus the per-organization geometric-mean series for assertions.
+type SweepResult struct {
+	Table     *stats.Table
+	Coverages []float64
+	// Geomean[org][i] is the geometric mean over workloads at Coverages[i].
+	Geomean map[string][]float64
+}
+
+// metricSweep renders a normalized-metric sweep for the given organizations.
+func (h *Harness) metricSweep(title, caption string, kinds []string,
+	metric func(r, base *system.Results) float64) (*SweepResult, error) {
+
+	header := []string{"workload", "directory"}
+	for _, c := range Coverages {
+		header = append(header, covLabel(c))
+	}
+	tb := stats.NewTable(title, header...)
+	tb.Caption = caption
+
+	res := &SweepResult{Table: tb, Coverages: Coverages, Geomean: map[string][]float64{}}
+	byKind := make(map[string]map[string]map[float64]*system.Results)
+	for _, kind := range kinds {
+		sw, err := h.sweep(kind, nil)
+		if err != nil {
+			return nil, err
+		}
+		byKind[kind] = sw
+	}
+	for _, w := range h.workloadList() {
+		base, err := h.baseline(w)
+		if err != nil {
+			return nil, err
+		}
+		for _, kind := range kinds {
+			row := []string{w, kind}
+			for _, cov := range Coverages {
+				row = append(row, fmt.Sprintf("%.3f", metric(byKind[kind][w][cov], base)))
+			}
+			tb.AddRow(row...)
+		}
+	}
+	for _, kind := range kinds {
+		gm := make([]float64, len(Coverages))
+		for i, cov := range Coverages {
+			var vs []float64
+			for _, w := range h.workloadList() {
+				base, _ := h.baseline(w)
+				vs = append(vs, metric(byKind[kind][w][cov], base))
+			}
+			gm[i] = geomean(vs)
+		}
+		res.Geomean[kind] = gm
+		row := []string{"GEOMEAN", kind}
+		for _, v := range gm {
+			row = append(row, fmt.Sprintf("%.3f", v))
+		}
+		tb.AddRow(row...)
+	}
+	return res, nil
+}
+
+// joinNames renders a workload list for captions.
+func joinNames(ws []string) string { return strings.Join(ws, ", ") }

@@ -1,0 +1,365 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/system"
+)
+
+// tinyHarness shrinks runs so the whole experiment suite stays fast in
+// tests while preserving the capacity ratios.
+func tinyHarness(workloads ...string) *Harness {
+	return NewHarness(Options{
+		Quick:     true,
+		Workloads: workloads,
+		ConfigHook: func(c *system.Config) {
+			c.AccessesPerCore = 4000
+			c.WorkloadScale = 0.25
+		},
+	})
+}
+
+func TestGeomean(t *testing.T) {
+	if g := geomean([]float64{2, 8}); g != 4 {
+		t.Fatalf("geomean(2,8) = %v, want 4", g)
+	}
+	if g := geomean(nil); g != 0 {
+		t.Fatalf("geomean(nil) = %v, want 0", g)
+	}
+	if g := geomean([]float64{1, 0}); g != 0 {
+		t.Fatalf("geomean with zero = %v, want 0", g)
+	}
+}
+
+func TestCovLabel(t *testing.T) {
+	cases := map[float64]string{2: "2x", 1: "1x", 0.5: "1/2", 0.125: "1/8", 0.0625: "1/16"}
+	for c, want := range cases {
+		if got := covLabel(c); got != want {
+			t.Errorf("covLabel(%v) = %q, want %q", c, got, want)
+		}
+	}
+}
+
+func TestHarnessMemoizes(t *testing.T) {
+	runs := 0
+	h := tinyHarness("blackscholes")
+	h.opts.Progress = func(string) { runs++ }
+	if _, err := h.baseline("blackscholes"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.baseline("blackscholes"); err != nil {
+		t.Fatal(err)
+	}
+	if runs != 1 {
+		t.Fatalf("baseline ran %d times, want 1 (memoized)", runs)
+	}
+}
+
+func TestTable1RendersWithoutRunning(t *testing.T) {
+	h := tinyHarness("blackscholes")
+	tb := h.Table1Config()
+	out := tb.String()
+	for _, want := range []string{"cores", "L1", "directory", "mesh"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 1 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFig1PrivateFractionHigh(t *testing.T) {
+	h := tinyHarness("blackscholes", "streamcluster")
+	_, vals, err := h.Fig1PrivateFraction()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for w, v := range vals {
+		if v < 0.5 || v > 1 {
+			t.Errorf("%s: private fraction %v outside (0.5, 1]", w, v)
+		}
+	}
+	if vals["blackscholes"] <= vals["streamcluster"] {
+		t.Errorf("blackscholes (%v) should be more private than streamcluster (%v)",
+			vals["blackscholes"], vals["streamcluster"])
+	}
+}
+
+func TestFig2InvalidationsGrowAsCoverageShrinks(t *testing.T) {
+	h := tinyHarness("canneal")
+	res, err := h.Fig2Invalidations()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gm := res.Geomean[system.DirSparse]
+	// Coverages are ordered 2x .. 1/16: invalidations must be (weakly)
+	// increasing from 1x to 1/16 and much larger at the end.
+	if !(gm[len(gm)-1] > gm[1]*2) {
+		t.Errorf("conflict invalidations did not explode: %v", gm)
+	}
+}
+
+func TestFig3HeadlineShape(t *testing.T) {
+	h := tinyHarness("canneal", "barnes")
+	res, err := h.Fig3ExecTime()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sparse := res.Geomean[system.DirSparse]
+	stash := res.Geomean[system.DirStash]
+	i8 := indexOf(res.Coverages, 0.125)
+	i1 := indexOf(res.Coverages, 1)
+	// The abstract's claim at bench scale: stash at 1/8 coverage within a
+	// few percent of sparse at 1x (normalized 1.0).
+	if stash[i8] > 1.10 {
+		t.Errorf("stash at 1/8 coverage is %.3f x sparse@1x, want <= 1.10", stash[i8])
+	}
+	// Sparse must visibly degrade at 1/8.
+	if sparse[i8] < stash[i8]*1.05 {
+		t.Errorf("sparse@1/8 (%.3f) not clearly worse than stash@1/8 (%.3f)", sparse[i8], stash[i8])
+	}
+	if sparse[i1] < 0.95 || sparse[i1] > 1.05 {
+		t.Errorf("sparse@1x should normalize to ~1.0, got %.3f", sparse[i1])
+	}
+}
+
+func TestFig6DiscoveryGrowsButStaysRare(t *testing.T) {
+	h := tinyHarness("barnes")
+	_, means, err := h.Fig6Discovery()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(means[0.0625] > means[1]) {
+		t.Errorf("discoveries should grow as coverage shrinks: %v", means)
+	}
+	if means[0.125] > 300 {
+		t.Errorf("discoveries per 1k LLC accesses implausibly high: %v", means[0.125])
+	}
+}
+
+func TestFig7EnergyShrinksWithDirectory(t *testing.T) {
+	h := tinyHarness("blackscholes")
+	res, err := h.Fig7Energy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stash := res.Geomean[system.DirStash]
+	i8 := indexOf(res.Coverages, 0.125)
+	i2 := indexOf(res.Coverages, 2)
+	if !(stash[i8] < stash[i2]) {
+		t.Errorf("a 1/8 directory should use less directory energy than a 2x one: %v", stash)
+	}
+}
+
+func TestFig5TrafficBreakdownSumsToOne(t *testing.T) {
+	h := tinyHarness("barnes")
+	tb, err := h.Fig5TrafficBreakdown(0.125)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 2 { // one workload x two orgs
+		t.Fatalf("rows = %d, want 2", len(tb.Rows))
+	}
+	for _, row := range tb.Rows {
+		sum := 0.0
+		for _, cell := range row[2:] {
+			var v float64
+			if _, err := fmtSscan(cell, &v); err != nil {
+				t.Fatalf("bad cell %q", cell)
+			}
+			sum += v
+		}
+		if sum < 0.98 || sum > 1.02 {
+			t.Errorf("breakdown sums to %v, want ~1", sum)
+		}
+	}
+}
+
+func TestTable3AndAblationRender(t *testing.T) {
+	h := tinyHarness("barnes")
+	tb, err := h.Table3Occupancy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 2 {
+		t.Fatalf("Table 3 rows = %d", len(tb.Rows))
+	}
+	ab, err := h.Fig11Ablation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ab.Rows) != 1 || len(ab.Rows[0]) != 5 {
+		t.Fatalf("ablation shape wrong: %v", ab.Rows)
+	}
+}
+
+func TestTable2Renders(t *testing.T) {
+	h := tinyHarness("blackscholes")
+	tb, err := h.Table2Workloads()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 1 {
+		t.Fatalf("Table 2 rows = %d", len(tb.Rows))
+	}
+}
+
+func indexOf(vs []float64, v float64) int {
+	for i, x := range vs {
+		if x == v {
+			return i
+		}
+	}
+	return -1
+}
+
+// fmtSscan parses one float out of a table cell.
+func fmtSscan(s string, v *float64) (int, error) {
+	return fmt.Sscanf(s, "%f", v)
+}
+
+func TestFig12ProtocolVariantsShape(t *testing.T) {
+	h := tinyHarness("canneal")
+	tb, gm, err := h.Fig12ProtocolVariants()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 4 { // (1 workload + GEOMEAN) x 2 orgs
+		t.Fatalf("rows = %d, want 4", len(tb.Rows))
+	}
+	// The headline must hold under every variant: stash@1/8 close to 1.0,
+	// sparse@1/8 clearly above it.
+	for variant, v := range gm[system.DirStash] {
+		if v > 1.15 {
+			t.Errorf("stash@1/8 under %s = %.3f, want <= 1.15", variant, v)
+		}
+		if sp := gm[system.DirSparse][variant]; sp < v {
+			t.Errorf("sparse@1/8 under %s (%.3f) not worse than stash (%.3f)", variant, sp, v)
+		}
+	}
+}
+
+func TestFig13EntryFormatShape(t *testing.T) {
+	h := tinyHarness("streamcluster") // enough sharing to overflow pointers
+	tb, gm, err := h.Fig13EntryFormat()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 8 { // 1 workload x 4 formats + 4 geomeans
+		t.Fatalf("rows = %d, want 8", len(tb.Rows))
+	}
+	// Narrow formats trade broadcasts for width; time may rise slightly but
+	// must stay sane, and every format must preserve correctness (Run
+	// already enforces that).
+	for f, v := range gm {
+		if v <= 0 || v > 2 {
+			t.Errorf("format %s: implausible normalized time %v", f, v)
+		}
+	}
+	if gm["ptr1-B"] < gm["fullmap-entry"]*0.9 {
+		t.Errorf("ptr1-B (%v) implausibly faster than full-map (%v)", gm["ptr1-B"], gm["fullmap-entry"])
+	}
+}
+
+func TestFig14PrivateL2Shape(t *testing.T) {
+	h := tinyHarness("canneal")
+	tb, gm, err := h.Fig14PrivateL2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(tb.Rows))
+	}
+	// With private L2s, stash at 1/8 must still beat sparse at 1/8.
+	if gm[system.DirStash][0.125] >= gm[system.DirSparse][0.125] {
+		t.Errorf("stash (%v) not better than sparse (%v) at 1/8 with L2s",
+			gm[system.DirStash][0.125], gm[system.DirSparse][0.125])
+	}
+}
+
+func TestParallelSweepMatchesSequential(t *testing.T) {
+	seq := tinyHarness("canneal", "barnes")
+	par := tinyHarness("canneal", "barnes")
+	par.opts.Parallel = 4
+	a, err := seq.Fig3ExecTime()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := par.Fig3ExecTime()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for kind, gm := range a.Geomean {
+		for i, v := range gm {
+			if b.Geomean[kind][i] != v {
+				t.Fatalf("parallel diverged: %s[%d] %v vs %v", kind, i, v, b.Geomean[kind][i])
+			}
+		}
+	}
+}
+
+func TestFig15PolicyShape(t *testing.T) {
+	h := tinyHarness("canneal")
+	_, gm, err := h.Fig15ReplacementPolicy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stash must be insensitive to the policy: spread across policies small.
+	min, max := 1e9, 0.0
+	for _, v := range gm[system.DirStash] {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	if max/min > 1.15 {
+		t.Errorf("stash policy sensitivity too high: [%v, %v]", min, max)
+	}
+}
+
+func TestFig8AssociativityShape(t *testing.T) {
+	// blackscholes is conflict-bound (small hot set, large directory
+	// pressure), so associativity visibly helps its sparse directory;
+	// canneal would not work here — it is capacity-bound and nearly
+	// associativity-insensitive (see the full-scale Fig 8 data).
+	h := tinyHarness("blackscholes")
+	_, gm, err := h.Fig8Associativity()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sparse must benefit from associativity far more than stash.
+	sparseGain := gm[system.DirSparse][2] - gm[system.DirSparse][16]
+	stashGain := gm[system.DirStash][2] - gm[system.DirStash][16]
+	if sparseGain <= stashGain {
+		t.Errorf("sparse assoc gain (%v) not larger than stash (%v)", sparseGain, stashGain)
+	}
+}
+
+func TestFig9ScalingShape(t *testing.T) {
+	h := tinyHarness("canneal")
+	_, gm, err := h.Fig9Scaling()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cores := range []int{16, 32, 64} {
+		if gm[system.DirStash][cores] >= gm[system.DirSparse][cores] {
+			t.Errorf("%d cores: stash (%v) not better than sparse (%v)",
+				cores, gm[system.DirStash][cores], gm[system.DirSparse][cores])
+		}
+	}
+}
+
+func TestFig10CuckooBetweenSparseAndStash(t *testing.T) {
+	h := tinyHarness("canneal")
+	r, err := h.Fig10Cuckoo()
+	if err != nil {
+		t.Fatal(err)
+	}
+	i4 := indexOf(r.Coverages, 0.25)
+	sparse, cuckoo, stash := r.Geomean[system.DirSparse][i4], r.Geomean[system.DirCuckoo][i4], r.Geomean[system.DirStash][i4]
+	if !(stash <= cuckoo && cuckoo <= sparse*1.02) {
+		t.Errorf("expected stash (%v) <= cuckoo (%v) <= sparse (%v) at 1/4", stash, cuckoo, sparse)
+	}
+}

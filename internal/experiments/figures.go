@@ -1,0 +1,590 @@
+package experiments
+
+import (
+	"fmt"
+	"repro/internal/cache"
+
+	"repro/internal/stats"
+	"repro/internal/system"
+)
+
+// Table1Config renders the simulated-machine configuration (the paper's
+// Table 1). It runs nothing.
+func (h *Harness) Table1Config() *stats.Table {
+	cfg := h.baseConfig("canneal")
+	tb := stats.NewTable("Table 1: simulated CMP configuration", "parameter", "value")
+	scale := "full (paper model)"
+	if h.opts.Quick {
+		scale = "quick (proportionally scaled)"
+	}
+	tb.AddRowf("scale", scale)
+	tb.AddRowf("cores", fmt.Sprintf("%d, in-order, blocking, 1 access outstanding", cfg.Cores))
+	tb.AddRowf("L1 data cache", fmt.Sprintf("%d sets x %d ways x 64B = %dKB, MESI, LRU",
+		cfg.L1Sets, cfg.L1Ways, cfg.L1Sets*cfg.L1Ways*64/1024))
+	tb.AddRowf("shared LLC", fmt.Sprintf("%d banks x %d sets x %d ways x 64B = %dMB, inclusive",
+		cfg.Cores, cfg.LLCSetsPerBank, cfg.LLCWays, cfg.Cores*cfg.LLCSetsPerBank*cfg.LLCWays*64/(1024*1024)))
+	tb.AddRowf("directory", fmt.Sprintf("per-bank slice, %d-way, coverage swept over {2,1,1/2,1/4,1/8,1/16}x of %d aggregate L1 blocks",
+		cfg.DirWays, cfg.AggregateL1Blocks()))
+	tb.AddRowf("network", "2D mesh, XY routing, 3-cycle routers, 1-cycle 16B links; control 1 flit, data 5 flits")
+	tb.AddRowf("memory", "160-cycle latency, posted writebacks")
+	tb.AddRowf("workloads", joinNames(h.workloadList()))
+	return tb
+}
+
+// Table2Workloads characterizes the workload suite under the ideal
+// directory: accesses, write ratio, L1 miss rate, and the fraction of
+// tracked blocks that are private (the paper's Table 2 / motivation data).
+func (h *Harness) Table2Workloads() (*stats.Table, error) {
+	tb := stats.NewTable("Table 2: workload characterization (ideal full-map directory)",
+		"workload", "accesses", "write-ratio", "l1-miss-rate", "private-fraction", "dir-entries-live")
+	for _, w := range h.workloadList() {
+		cfg := h.baseConfig(w)
+		cfg.DirKind = system.DirFullMap
+		cfg.SamplePeriod = 10_000
+		r, err := h.run(cfg)
+		if err != nil {
+			return nil, err
+		}
+		live := float64(r.DirAllocations - r.DirRemovals)
+		tb.AddRowf(w, r.Loads+r.Stores,
+			float64(r.Stores)/float64(r.Loads+r.Stores),
+			r.L1MissRate, r.AvgPrivateFraction, live)
+	}
+	return tb, nil
+}
+
+// Fig1PrivateFraction measures the enabler of the stash directory: the
+// fraction of tracked blocks that are private (cached by exactly one core),
+// sampled over the run under the ideal directory.
+func (h *Harness) Fig1PrivateFraction() (*stats.Table, map[string]float64, error) {
+	tb := stats.NewTable("Fig 1: fraction of directory entries tracking private blocks",
+		"workload", "private-fraction")
+	tb.Caption = "High private fractions are what make stashing profitable."
+	vals := map[string]float64{}
+	for _, w := range h.workloadList() {
+		cfg := h.baseConfig(w)
+		cfg.DirKind = system.DirFullMap
+		cfg.SamplePeriod = 10_000
+		r, err := h.run(cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		vals[w] = r.AvgPrivateFraction
+		tb.AddRowf(w, r.AvgPrivateFraction)
+	}
+	var sum float64
+	for _, v := range vals {
+		sum += v
+	}
+	avg := sum / float64(len(vals))
+	vals["MEAN"] = avg
+	tb.AddRowf("MEAN", avg)
+	return tb, vals, nil
+}
+
+// Fig2Invalidations shows why under-provisioned sparse directories hurt:
+// conflict-induced invalidations (recall + inclusion victims) per 1k
+// accesses explode as coverage shrinks.
+func (h *Harness) Fig2Invalidations() (*SweepResult, error) {
+	return h.metricSweep(
+		"Fig 2: conflict invalidations per 1k accesses, conventional sparse directory",
+		"Back-invalidations from directory conflicts; the cost the stash directory removes.",
+		[]string{system.DirSparse},
+		func(r, base *system.Results) float64 {
+			return float64(r.InvalidationsConflict()) / float64(r.Loads+r.Stores) * 1000
+		})
+}
+
+// Fig3ExecTime is the headline figure: execution time (cycles), normalized
+// to the sparse directory at 1x coverage, for sparse vs stash across the
+// coverage sweep. The paper's claim: stash at 1/8 matches sparse at 1x.
+func (h *Harness) Fig3ExecTime() (*SweepResult, error) {
+	return h.metricSweep(
+		"Fig 3: normalized execution time vs directory coverage",
+		"Normalized to sparse at 1x coverage. Lower is better.",
+		[]string{system.DirSparse, system.DirStash},
+		func(r, base *system.Results) float64 {
+			return float64(r.Cycles) / float64(base.Cycles)
+		})
+}
+
+// Fig4MissRate shows the L1 miss-rate inflation caused by coverage misses.
+func (h *Harness) Fig4MissRate() (*SweepResult, error) {
+	return h.metricSweep(
+		"Fig 4: L1 miss rate, normalized to sparse at 1x coverage",
+		"Sparse inflates misses by invalidating live blocks; stash does not.",
+		[]string{system.DirSparse, system.DirStash},
+		func(r, base *system.Results) float64 {
+			return r.L1MissRate / base.L1MissRate
+		})
+}
+
+// Fig5Traffic compares total NoC traffic (flit-hops), normalized.
+func (h *Harness) Fig5Traffic() (*SweepResult, error) {
+	return h.metricSweep(
+		"Fig 5: network traffic (flit-hops), normalized to sparse at 1x coverage",
+		"Includes the stash directory's discovery broadcast traffic.",
+		[]string{system.DirSparse, system.DirStash},
+		func(r, base *system.Results) float64 {
+			return float64(r.TotalFlitHops) / float64(base.TotalFlitHops)
+		})
+}
+
+// Fig5TrafficBreakdown renders the flit-hop composition by message class
+// for one coverage point (the paper breaks one bar down per class).
+func (h *Harness) Fig5TrafficBreakdown(coverage float64) (*stats.Table, error) {
+	tb := stats.NewTable(
+		fmt.Sprintf("Fig 5b: traffic breakdown by message class at %s coverage (flit-hop share)", covLabel(coverage)),
+		"workload", "directory", "request", "response", "invalidation", "ack", "writeback", "discovery", "discovery-resp")
+	for _, w := range h.workloadList() {
+		for _, kind := range []string{system.DirSparse, system.DirStash} {
+			cfg := h.baseConfig(w)
+			cfg.DirKind = kind
+			cfg.Coverage = coverage
+			r, err := h.run(cfg)
+			if err != nil {
+				return nil, err
+			}
+			row := []string{w, kind}
+			for _, class := range []string{"request", "response", "invalidation", "ack", "writeback", "discovery", "discovery-resp"} {
+				row = append(row, fmt.Sprintf("%.3f", float64(r.FlitHopsByClass[class])/float64(r.TotalFlitHops)))
+			}
+			tb.AddRow(row...)
+		}
+	}
+	return tb, nil
+}
+
+// Fig6Discovery characterizes the stash directory's overhead mechanism:
+// discovery broadcasts per 1k LLC accesses and the fraction that found
+// nothing (stale hidden bits).
+func (h *Harness) Fig6Discovery() (*stats.Table, map[float64]float64, error) {
+	header := []string{"workload"}
+	for _, c := range Coverages {
+		header = append(header, covLabel(c))
+	}
+	tb := stats.NewTable("Fig 6: discovery broadcasts per 1k LLC accesses (stash)", header...)
+	tb.Caption = "Parenthesized: fraction of discoveries that found no copy (stale hidden bit)."
+	sw, err := h.sweep(system.DirStash, nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	means := map[float64]float64{}
+	for _, w := range h.workloadList() {
+		row := []string{w}
+		for _, cov := range Coverages {
+			r := sw[w][cov]
+			stale := 0.0
+			if r.DiscoveryBroadcasts > 0 {
+				stale = float64(r.DiscoveryStale) / float64(r.DiscoveryBroadcasts)
+			}
+			row = append(row, fmt.Sprintf("%.2f (%.2f)", r.DiscoveryPer1kLLCAccesses(), stale))
+			means[cov] += r.DiscoveryPer1kLLCAccesses() / float64(len(h.workloadList()))
+		}
+		tb.AddRow(row...)
+	}
+	return tb, means, nil
+}
+
+// Fig7Energy compares directory energy (dynamic + leakage), normalized to
+// sparse at 1x.
+func (h *Harness) Fig7Energy() (*SweepResult, error) {
+	return h.metricSweep(
+		"Fig 7: directory energy (dynamic + leakage), normalized to sparse at 1x coverage",
+		"Smaller directories leak less; stash adds discovery traffic but shrinks 8x.",
+		[]string{system.DirSparse, system.DirStash},
+		func(r, base *system.Results) float64 {
+			return r.Energy.DirTotal() / base.Energy.DirTotal()
+		})
+}
+
+// Fig7EnergyTotal compares whole-system energy, normalized.
+func (h *Harness) Fig7EnergyTotal() (*SweepResult, error) {
+	return h.metricSweep(
+		"Fig 7b: total system energy, normalized to sparse at 1x coverage",
+		"",
+		[]string{system.DirSparse, system.DirStash},
+		func(r, base *system.Results) float64 {
+			return r.Energy.Total() / base.Energy.Total()
+		})
+}
+
+// Fig8Associativity is the sensitivity of both organizations to directory
+// associativity at 1/8 coverage.
+func (h *Harness) Fig8Associativity() (*stats.Table, map[string]map[int]float64, error) {
+	ways := []int{2, 4, 8, 16}
+	header := []string{"workload", "directory"}
+	for _, wy := range ways {
+		header = append(header, fmt.Sprintf("%d-way", wy))
+	}
+	tb := stats.NewTable("Fig 8: normalized execution time vs directory associativity at 1/8 coverage", header...)
+	gm := map[string]map[int]float64{}
+	for _, kind := range []string{system.DirSparse, system.DirStash} {
+		gm[kind] = map[int]float64{}
+		acc := map[int][]float64{}
+		for _, w := range h.workloadList() {
+			base, err := h.baseline(w)
+			if err != nil {
+				return nil, nil, err
+			}
+			row := []string{w, kind}
+			for _, wy := range ways {
+				cfg := h.baseConfig(w)
+				cfg.DirKind = kind
+				cfg.Coverage = 0.125
+				cfg.DirWays = wy
+				r, err := h.run(cfg)
+				if err != nil {
+					return nil, nil, err
+				}
+				v := float64(r.Cycles) / float64(base.Cycles)
+				acc[wy] = append(acc[wy], v)
+				row = append(row, fmt.Sprintf("%.3f", v))
+			}
+			tb.AddRow(row...)
+		}
+		row := []string{"GEOMEAN", kind}
+		for _, wy := range ways {
+			gm[kind][wy] = geomean(acc[wy])
+			row = append(row, fmt.Sprintf("%.3f", gm[kind][wy]))
+		}
+		tb.AddRow(row...)
+	}
+	return tb, gm, nil
+}
+
+// Fig9Scaling compares sparse and stash at 1/8 coverage as the core count
+// grows; the conflict problem worsens with scale, stash's advantage grows.
+func (h *Harness) Fig9Scaling() (*stats.Table, map[string]map[int]float64, error) {
+	cores := []int{16, 32, 64}
+	header := []string{"workload", "directory"}
+	for _, n := range cores {
+		header = append(header, fmt.Sprintf("%d-core", n))
+	}
+	tb := stats.NewTable("Fig 9: execution time at 1/8 coverage normalized to same-core-count sparse@1x", header...)
+	gm := map[string]map[int]float64{}
+	for _, kind := range []string{system.DirSparse, system.DirStash} {
+		gm[kind] = map[int]float64{}
+		acc := map[int][]float64{}
+		for _, w := range h.workloadList() {
+			row := []string{w, kind}
+			for _, n := range cores {
+				baseCfg := h.baseConfig(w)
+				baseCfg.Cores = n
+				baseCfg.DirKind = system.DirSparse
+				baseCfg.Coverage = 1
+				base, err := h.run(baseCfg)
+				if err != nil {
+					return nil, nil, err
+				}
+				cfg := h.baseConfig(w)
+				cfg.Cores = n
+				cfg.DirKind = kind
+				cfg.Coverage = 0.125
+				r, err := h.run(cfg)
+				if err != nil {
+					return nil, nil, err
+				}
+				v := float64(r.Cycles) / float64(base.Cycles)
+				acc[n] = append(acc[n], v)
+				row = append(row, fmt.Sprintf("%.3f", v))
+			}
+			tb.AddRow(row...)
+		}
+		row := []string{"GEOMEAN", kind}
+		for _, n := range cores {
+			gm[kind][n] = geomean(acc[n])
+			row = append(row, fmt.Sprintf("%.3f", gm[kind][n]))
+		}
+		tb.AddRow(row...)
+	}
+	return tb, gm, nil
+}
+
+// Table3Occupancy reports directory occupancy and entry churn at 1/4
+// coverage: the stash directory keeps its slots full of useful entries.
+func (h *Harness) Table3Occupancy() (*stats.Table, error) {
+	tb := stats.NewTable("Table 3: directory occupancy and eviction mix at 1/4 coverage",
+		"workload", "directory", "occupancy", "stash-evictions", "recall-evictions", "evictions-per-1k-acc")
+	for _, w := range h.workloadList() {
+		for _, kind := range []string{system.DirSparse, system.DirStash} {
+			cfg := h.baseConfig(w)
+			cfg.DirKind = kind
+			cfg.Coverage = 0.25
+			cfg.SamplePeriod = 10_000
+			r, err := h.run(cfg)
+			if err != nil {
+				return nil, err
+			}
+			evPerK := float64(r.StashEvictions+r.RecallEvictions) / float64(r.Loads+r.Stores) * 1000
+			tb.AddRowf(w, kind, r.AvgDirOccupancy, r.StashEvictions, r.RecallEvictions, evPerK)
+		}
+	}
+	return tb, nil
+}
+
+// Fig10Cuckoo (extension) compares the cuckoo directory — conflict-free but
+// strictly inclusive — against sparse and stash at matched sizes, isolating
+// how much of stash's win is relaxed inclusion rather than conflict
+// avoidance.
+func (h *Harness) Fig10Cuckoo() (*SweepResult, error) {
+	return h.metricSweep(
+		"Fig 10 (extension): normalized execution time — sparse vs cuckoo vs stash",
+		"Cuckoo removes set conflicts but still back-invalidates on capacity; stash relaxes inclusion.",
+		[]string{system.DirSparse, system.DirCuckoo, system.DirStash},
+		func(r, base *system.Results) float64 {
+			return float64(r.Cycles) / float64(base.Cycles)
+		})
+}
+
+// Fig11Ablation (ablation) compares stash victim policies (E/M-only vs
+// also singleton-Shared) and silent vs notified clean evictions at 1/8
+// coverage.
+func (h *Harness) Fig11Ablation() (*stats.Table, error) {
+	tb := stats.NewTable("Fig 11 (ablation): stash variants at 1/8 coverage, normalized execution time",
+		"workload", "stash", "stash-ss", "stash silent-evict", "stash-ss silent-evict")
+	type variant struct {
+		kind   string
+		silent bool
+	}
+	variants := []variant{
+		{system.DirStash, false},
+		{system.DirStashSS, false},
+		{system.DirStash, true},
+		{system.DirStashSS, true},
+	}
+	for _, w := range h.workloadList() {
+		base, err := h.baseline(w)
+		if err != nil {
+			return nil, err
+		}
+		row := []string{w}
+		for _, v := range variants {
+			cfg := h.baseConfig(w)
+			cfg.DirKind = v.kind
+			cfg.Coverage = 0.125
+			cfg.SilentCleanEvictions = v.silent
+			r, err := h.run(cfg)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, fmt.Sprintf("%.3f", float64(r.Cycles)/float64(base.Cycles)))
+		}
+		tb.AddRow(row...)
+	}
+	return tb, nil
+}
+
+// Fig12ProtocolVariants (extension) verifies the headline comparison is
+// robust to the protocol modeling choices this simulator makes: data
+// transfer style (directory-centric two-hop vs owner-forwarded three-hop)
+// and core memory-level parallelism (1 vs 4 MSHRs). Each cell is the
+// stash@1/8 (and sparse@1/8) time normalized to the same-variant sparse@1x
+// baseline.
+func (h *Harness) Fig12ProtocolVariants() (*stats.Table, map[string]map[string]float64, error) {
+	type variant struct {
+		name     string
+		threeHop bool
+		mshrs    int
+	}
+	variants := []variant{
+		{"2hop/1mshr", false, 1},
+		{"3hop/1mshr", true, 1},
+		{"2hop/4mshr", false, 4},
+		{"3hop/4mshr", true, 4},
+	}
+	header := []string{"workload", "directory"}
+	for _, v := range variants {
+		header = append(header, v.name)
+	}
+	tb := stats.NewTable("Fig 12 (extension): stash@1/8 vs sparse@1/8 under protocol variants, normalized to same-variant sparse@1x", header...)
+	gm := map[string]map[string]float64{}
+	for _, kind := range []string{system.DirSparse, system.DirStash} {
+		gm[kind] = map[string]float64{}
+		acc := map[string][]float64{}
+		for _, w := range h.workloadList() {
+			row := []string{w, kind}
+			for _, v := range variants {
+				baseCfg := h.baseConfig(w)
+				baseCfg.DirKind = system.DirSparse
+				baseCfg.Coverage = 1
+				baseCfg.ThreeHopForwarding = v.threeHop
+				baseCfg.MSHRs = v.mshrs
+				base, err := h.run(baseCfg)
+				if err != nil {
+					return nil, nil, err
+				}
+				cfg := h.baseConfig(w)
+				cfg.DirKind = kind
+				cfg.Coverage = 0.125
+				cfg.ThreeHopForwarding = v.threeHop
+				cfg.MSHRs = v.mshrs
+				r, err := h.run(cfg)
+				if err != nil {
+					return nil, nil, err
+				}
+				val := float64(r.Cycles) / float64(base.Cycles)
+				acc[v.name] = append(acc[v.name], val)
+				row = append(row, fmt.Sprintf("%.3f", val))
+			}
+			tb.AddRow(row...)
+		}
+		row := []string{"GEOMEAN", kind}
+		for _, v := range variants {
+			gm[kind][v.name] = geomean(acc[v.name])
+			row = append(row, fmt.Sprintf("%.3f", gm[kind][v.name]))
+		}
+		tb.AddRow(row...)
+	}
+	return tb, gm, nil
+}
+
+// Fig13EntryFormat (extension) compares directory entry formats at 1/8
+// coverage: full-map sharer vectors versus Dir_P-B limited pointers with
+// broadcast-on-overflow. Reported per format: normalized execution time,
+// normalized directory energy (narrower entries leak and switch less), and
+// broadcast invalidations per 1k accesses.
+func (h *Harness) Fig13EntryFormat() (*stats.Table, map[string]float64, error) {
+	formats := []struct {
+		name  string
+		limit int
+	}{
+		{"fullmap-entry", 0},
+		{"ptr4-B", 4},
+		{"ptr2-B", 2},
+		{"ptr1-B", 1},
+	}
+	tb := stats.NewTable("Fig 13 (extension): stash@1/8 under directory entry formats",
+		"workload", "format", "norm-time", "norm-dir-energy", "bcast-invs-per-1k-acc", "entry-bits")
+	gmTime := map[string][]float64{}
+	for _, w := range h.workloadList() {
+		base, err := h.baseline(w)
+		if err != nil {
+			return nil, nil, err
+		}
+		for _, f := range formats {
+			cfg := h.baseConfig(w)
+			cfg.DirKind = system.DirStash
+			cfg.Coverage = 0.125
+			cfg.PointerLimit = f.limit
+			r, err := h.run(cfg)
+			if err != nil {
+				return nil, nil, err
+			}
+			normTime := float64(r.Cycles) / float64(base.Cycles)
+			gmTime[f.name] = append(gmTime[f.name], normTime)
+			bcastPerK := float64(r.BroadcastInvalidations) / float64(r.Loads+r.Stores) * 1000
+			tb.AddRowf(w, f.name, normTime,
+				r.Energy.DirTotal()/base.Energy.DirTotal(), bcastPerK, cfg.DirEntryBits())
+		}
+	}
+	gm := map[string]float64{}
+	for _, f := range formats {
+		gm[f.name] = geomean(gmTime[f.name])
+		tb.AddRowf("GEOMEAN", f.name, gm[f.name], "", "", "")
+	}
+	return tb, gm, nil
+}
+
+// Fig14PrivateL2 (extension) adds the private L2 the paper's machine class
+// carries (128KB per core at full scale, scaled with the quick machine) and
+// repeats the headline comparison. Private L2s multiply the capacity the
+// directory must cover, so under-provisioned sparse directories hurt even
+// more while the stash directory keeps absorbing the pressure.
+func (h *Harness) Fig14PrivateL2() (*stats.Table, map[string]map[float64]float64, error) {
+	covs := []float64{1, 0.25, 0.125}
+	header := []string{"workload", "directory"}
+	for _, c := range covs {
+		header = append(header, covLabel(c))
+	}
+	tb := stats.NewTable("Fig 14 (extension): normalized execution time with private L2s (coverage vs aggregate L2 capacity)", header...)
+	tb.Caption = "Normalized to sparse@1x with the same L2 hierarchy."
+	withL2 := func(cfg *system.Config) {
+		// 4x the L1's capacity, 8-way: 128KB at paper scale, 64KB quick.
+		cfg.L2Sets = cfg.L1Sets * 2
+		cfg.L2Ways = cfg.L1Ways * 2
+	}
+	gm := map[string]map[float64]float64{}
+	for _, kind := range []string{system.DirSparse, system.DirStash} {
+		gm[kind] = map[float64]float64{}
+		acc := map[float64][]float64{}
+		for _, w := range h.workloadList() {
+			baseCfg := h.baseConfig(w)
+			baseCfg.DirKind = system.DirSparse
+			baseCfg.Coverage = 1
+			withL2(&baseCfg)
+			base, err := h.run(baseCfg)
+			if err != nil {
+				return nil, nil, err
+			}
+			row := []string{w, kind}
+			for _, cov := range covs {
+				cfg := h.baseConfig(w)
+				cfg.DirKind = kind
+				cfg.Coverage = cov
+				withL2(&cfg)
+				r, err := h.run(cfg)
+				if err != nil {
+					return nil, nil, err
+				}
+				v := float64(r.Cycles) / float64(base.Cycles)
+				acc[cov] = append(acc[cov], v)
+				row = append(row, fmt.Sprintf("%.3f", v))
+			}
+			tb.AddRow(row...)
+		}
+		row := []string{"GEOMEAN", kind}
+		for _, cov := range covs {
+			gm[kind][cov] = geomean(acc[cov])
+			row = append(row, fmt.Sprintf("%.3f", gm[kind][cov]))
+		}
+		tb.AddRow(row...)
+	}
+	return tb, gm, nil
+}
+
+// Fig15ReplacementPolicy (ablation) sweeps the directory replacement
+// policy at 1/8 coverage. The stash directory prefers stashable victims
+// regardless of recency, so it should be far less policy-sensitive than
+// the conventional sparse directory.
+func (h *Harness) Fig15ReplacementPolicy() (*stats.Table, map[string]map[string]float64, error) {
+	policies := []cache.PolicyKind{cache.LRU, cache.TreePLRU, cache.NRU, cache.Random}
+	header := []string{"workload", "directory"}
+	for _, p := range policies {
+		header = append(header, p.String())
+	}
+	tb := stats.NewTable("Fig 15 (ablation): normalized execution time vs directory replacement policy at 1/8 coverage", header...)
+	gm := map[string]map[string]float64{}
+	for _, kind := range []string{system.DirSparse, system.DirStash} {
+		gm[kind] = map[string]float64{}
+		acc := map[string][]float64{}
+		for _, w := range h.workloadList() {
+			base, err := h.baseline(w)
+			if err != nil {
+				return nil, nil, err
+			}
+			row := []string{w, kind}
+			for _, p := range policies {
+				cfg := h.baseConfig(w)
+				cfg.DirKind = kind
+				cfg.Coverage = 0.125
+				cfg.ReplacementPolicy = p
+				r, err := h.run(cfg)
+				if err != nil {
+					return nil, nil, err
+				}
+				v := float64(r.Cycles) / float64(base.Cycles)
+				acc[p.String()] = append(acc[p.String()], v)
+				row = append(row, fmt.Sprintf("%.3f", v))
+			}
+			tb.AddRow(row...)
+		}
+		row := []string{"GEOMEAN", kind}
+		for _, p := range policies {
+			gm[kind][p.String()] = geomean(acc[p.String()])
+			row = append(row, fmt.Sprintf("%.3f", gm[kind][p.String()]))
+		}
+		tb.AddRow(row...)
+	}
+	return tb, gm, nil
+}

@@ -1,0 +1,84 @@
+// Package mem defines the fundamental memory types shared by the whole
+// simulator: byte addresses, block (cache-line) numbers, MESI coherence
+// states and memory access records.
+//
+// All caches in the simulated machine use one global line size, fixed at
+// configuration time. Block numbers are byte addresses divided by the line
+// size; the coherence machinery operates exclusively on block numbers so
+// that a single address representation flows through L1s, the LLC, the
+// directory and the network.
+package mem
+
+import "fmt"
+
+// Addr is a physical byte address in the simulated machine.
+type Addr uint64
+
+// Block is a cache-line number: a byte address divided by the line size.
+type Block uint64
+
+// LineSize is the cache-line size in bytes used throughout the simulated
+// machine. The paper's configuration uses 64-byte lines.
+const LineSize = 64
+
+// BlockOf returns the block containing a.
+func BlockOf(a Addr) Block { return Block(a / LineSize) }
+
+// AddrOf returns the first byte address of block b.
+func AddrOf(b Block) Addr { return Addr(b) * LineSize }
+
+// State is a MESI coherence state as seen by a private cache line.
+type State uint8
+
+// The stable MESI states. Transient states live inside the protocol
+// controllers and are not part of this package.
+const (
+	Invalid State = iota
+	Shared
+	Exclusive
+	Modified
+)
+
+// String returns the usual one-letter MESI name.
+func (s State) String() string {
+	switch s {
+	case Invalid:
+		return "I"
+	case Shared:
+		return "S"
+	case Exclusive:
+		return "E"
+	case Modified:
+		return "M"
+	}
+	return fmt.Sprintf("State(%d)", uint8(s))
+}
+
+// Readable reports whether a line in state s may service loads.
+func (s State) Readable() bool { return s != Invalid }
+
+// Writable reports whether a line in state s may service stores without a
+// coherence transaction.
+func (s State) Writable() bool { return s == Modified }
+
+// Owned reports whether a line in state s holds the block exclusively
+// (clean or dirty). Owned lines are what the stash directory calls
+// "private" blocks when they have exactly one sharer.
+func (s State) Owned() bool { return s == Exclusive || s == Modified }
+
+// Access is one memory reference issued by a core.
+type Access struct {
+	Addr  Addr
+	Write bool
+}
+
+// Block returns the block the access touches.
+func (a Access) Block() Block { return BlockOf(a.Addr) }
+
+func (a Access) String() string {
+	op := "LD"
+	if a.Write {
+		op = "ST"
+	}
+	return fmt.Sprintf("%s 0x%x", op, uint64(a.Addr))
+}

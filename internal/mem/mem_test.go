@@ -1,0 +1,101 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBlockOf(t *testing.T) {
+	cases := []struct {
+		addr Addr
+		want Block
+	}{
+		{0, 0},
+		{1, 0},
+		{63, 0},
+		{64, 1},
+		{65, 1},
+		{127, 1},
+		{128, 2},
+		{64 * 1000, 1000},
+	}
+	for _, c := range cases {
+		if got := BlockOf(c.addr); got != c.want {
+			t.Errorf("BlockOf(%d) = %d, want %d", c.addr, got, c.want)
+		}
+	}
+}
+
+func TestAddrOfRoundTrip(t *testing.T) {
+	f := func(b uint32) bool {
+		blk := Block(b)
+		return BlockOf(AddrOf(blk)) == blk
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBlockOfWithinLine(t *testing.T) {
+	// Every address within one line maps to the same block.
+	f := func(b uint32, off uint8) bool {
+		blk := Block(b)
+		a := AddrOf(blk) + Addr(off%LineSize)
+		return BlockOf(a) == blk
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStateString(t *testing.T) {
+	cases := map[State]string{
+		Invalid:   "I",
+		Shared:    "S",
+		Exclusive: "E",
+		Modified:  "M",
+		State(9):  "State(9)",
+	}
+	for s, want := range cases {
+		if got := s.String(); got != want {
+			t.Errorf("State(%d).String() = %q, want %q", s, got, want)
+		}
+	}
+}
+
+func TestStatePredicates(t *testing.T) {
+	cases := []struct {
+		s                         State
+		readable, writable, owned bool
+	}{
+		{Invalid, false, false, false},
+		{Shared, true, false, false},
+		{Exclusive, true, false, true},
+		{Modified, true, true, true},
+	}
+	for _, c := range cases {
+		if got := c.s.Readable(); got != c.readable {
+			t.Errorf("%v.Readable() = %v, want %v", c.s, got, c.readable)
+		}
+		if got := c.s.Writable(); got != c.writable {
+			t.Errorf("%v.Writable() = %v, want %v", c.s, got, c.writable)
+		}
+		if got := c.s.Owned(); got != c.owned {
+			t.Errorf("%v.Owned() = %v, want %v", c.s, got, c.owned)
+		}
+	}
+}
+
+func TestAccessString(t *testing.T) {
+	ld := Access{Addr: 0x40, Write: false}
+	st := Access{Addr: 0x80, Write: true}
+	if got := ld.String(); got != "LD 0x40" {
+		t.Errorf("load string = %q", got)
+	}
+	if got := st.String(); got != "ST 0x80" {
+		t.Errorf("store string = %q", got)
+	}
+	if ld.Block() != 1 || st.Block() != 2 {
+		t.Errorf("Block(): got %d and %d, want 1 and 2", ld.Block(), st.Block())
+	}
+}

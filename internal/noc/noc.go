@@ -1,0 +1,264 @@
+// Package noc models the on-chip interconnect: a 2D mesh with XY
+// dimension-order routing, per-link serialization and contention, and
+// per-message-class traffic accounting (flit-hops), which feeds both the
+// paper's network-traffic figures and the energy model.
+//
+// Timing model: a message is routed hop by hop at send time. At each link it
+// reserves the link for as many cycles as it has flits (serialization), so
+// later messages crossing the same link observe queueing delay. Per-hop cost
+// is router latency + link latency. A single delivery event fires at the
+// computed arrival cycle. This link-reservation model captures first-order
+// contention without per-flit event overhead and is fully deterministic.
+package noc
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// NodeID identifies a mesh node (one tile). Tiles are numbered row-major:
+// node n sits at (n % width, n / width).
+type NodeID int
+
+// Class categorizes a message for traffic accounting. The experiment
+// harness reports flit-hops per class, matching the traffic-breakdown
+// figure.
+type Class uint8
+
+// Message classes. Discovery and DiscoveryResp exist so the stash
+// directory's broadcast overhead is separately visible.
+const (
+	ClassRequest       Class = iota // GetS/GetM/upgrade requests
+	ClassResponse                   // data and grant responses
+	ClassInvalidation               // Inv, Fetch, FetchInv, recalls
+	ClassAck                        // InvAck, PutAck and other control acks
+	ClassWriteback                  // PutS/PutE/PutM and victim data
+	ClassDiscovery                  // stash discovery probes
+	ClassDiscoveryResp              // stash discovery responses
+	NumClasses
+)
+
+// String returns the class name used in reports.
+func (c Class) String() string {
+	switch c {
+	case ClassRequest:
+		return "request"
+	case ClassResponse:
+		return "response"
+	case ClassInvalidation:
+		return "invalidation"
+	case ClassAck:
+		return "ack"
+	case ClassWriteback:
+		return "writeback"
+	case ClassDiscovery:
+		return "discovery"
+	case ClassDiscoveryResp:
+		return "discovery-resp"
+	}
+	return fmt.Sprintf("Class(%d)", uint8(c))
+}
+
+// Message is one network transfer. Payload is opaque to the NoC; the
+// coherence package stores its protocol messages there.
+type Message struct {
+	Src, Dst NodeID
+	Class    Class
+	Flits    int
+	Payload  any
+}
+
+// Endpoint receives messages delivered to a node.
+type Endpoint interface {
+	Deliver(msg *Message)
+}
+
+// Config describes the mesh.
+type Config struct {
+	Width, Height int
+	RouterLatency sim.Cycle // cycles spent in each router's pipeline
+	LinkLatency   sim.Cycle // cycles to traverse each link
+	// LinkBandwidth is flits per cycle per link; 1 matches a 16-byte link
+	// with 16-byte flits. Must be >= 1.
+	LinkBandwidth int
+}
+
+// DefaultConfig returns the mesh parameters of the paper's 16-core model.
+func DefaultConfig(width, height int) Config {
+	return Config{
+		Width:         width,
+		Height:        height,
+		RouterLatency: 3,
+		LinkLatency:   1,
+		LinkBandwidth: 1,
+	}
+}
+
+// Mesh is the interconnect instance.
+type Mesh struct {
+	cfg       Config
+	engine    *sim.Engine
+	endpoints []Endpoint
+
+	// linkFree[l] is the first cycle at which link l can start serializing
+	// a new message. Links are unidirectional; see linkIndex.
+	linkFree []sim.Cycle
+
+	set       *stats.Set
+	msgs      [NumClasses]*stats.Counter
+	flitHops  [NumClasses]*stats.Counter
+	latency   *stats.Histogram
+	delivered *stats.Counter
+}
+
+// New builds a mesh attached to the given engine.
+func New(engine *sim.Engine, cfg Config) (*Mesh, error) {
+	if cfg.Width < 1 || cfg.Height < 1 {
+		return nil, fmt.Errorf("noc: invalid mesh %dx%d", cfg.Width, cfg.Height)
+	}
+	if cfg.LinkBandwidth < 1 {
+		return nil, fmt.Errorf("noc: link bandwidth must be >= 1, got %d", cfg.LinkBandwidth)
+	}
+	n := cfg.Width * cfg.Height
+	m := &Mesh{
+		cfg:       cfg,
+		engine:    engine,
+		endpoints: make([]Endpoint, n),
+		// 4 outgoing directions per node is an upper bound; unused slots
+		// stay at zero and are never indexed.
+		linkFree: make([]sim.Cycle, n*4),
+		set:      stats.NewSet("noc"),
+	}
+	for c := Class(0); c < NumClasses; c++ {
+		m.msgs[c] = m.set.Counter("messages." + c.String())
+		m.flitHops[c] = m.set.Counter("flit_hops." + c.String())
+	}
+	m.latency = m.set.Histogram("latency")
+	m.delivered = m.set.Counter("delivered")
+	return m, nil
+}
+
+// Nodes returns the number of mesh nodes.
+func (m *Mesh) Nodes() int { return m.cfg.Width * m.cfg.Height }
+
+// Stats returns the mesh metric set.
+func (m *Mesh) Stats() *stats.Set { return m.set }
+
+// Attach registers the endpoint for node id. It must be called once per
+// node before any traffic reaches that node.
+func (m *Mesh) Attach(id NodeID, ep Endpoint) {
+	if m.endpoints[id] != nil {
+		panic(fmt.Sprintf("noc: endpoint for node %d attached twice", id))
+	}
+	m.endpoints[id] = ep
+}
+
+// Coord returns the (x, y) position of node id.
+func (m *Mesh) Coord(id NodeID) (x, y int) {
+	return int(id) % m.cfg.Width, int(id) / m.cfg.Width
+}
+
+// nodeAt returns the node at (x, y).
+func (m *Mesh) nodeAt(x, y int) NodeID {
+	return NodeID(y*m.cfg.Width + x)
+}
+
+// direction encoding for linkIndex.
+const (
+	dirEast = iota
+	dirWest
+	dirNorth
+	dirSouth
+)
+
+// linkIndex identifies the unidirectional link leaving node from in
+// direction dir.
+func (m *Mesh) linkIndex(from NodeID, dir int) int {
+	return int(from)*4 + dir
+}
+
+// Hops returns the number of links on the XY route between two nodes.
+func (m *Mesh) Hops(src, dst NodeID) int {
+	sx, sy := m.Coord(src)
+	dx, dy := m.Coord(dst)
+	return abs(sx-dx) + abs(sy-dy)
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// Send routes msg from msg.Src to msg.Dst and schedules its delivery. It
+// returns the arrival cycle. Messages to self are delivered after the
+// router latency only (local turnaround), with no link traffic.
+func (m *Mesh) Send(msg *Message) sim.Cycle {
+	if msg.Flits < 1 {
+		panic("noc: message with no flits")
+	}
+	m.msgs[msg.Class].Inc()
+
+	now := m.engine.Now()
+	t := now + m.cfg.RouterLatency // injection through the local router
+	if msg.Src != msg.Dst {
+		serialize := sim.Cycle((msg.Flits + m.cfg.LinkBandwidth - 1) / m.cfg.LinkBandwidth)
+		x, y := m.Coord(msg.Src)
+		dx, dy := m.Coord(msg.Dst)
+		hops := 0
+		// XY routing: walk X first, then Y, reserving each link.
+		for x != dx || y != dy {
+			var dir int
+			nx, ny := x, y
+			switch {
+			case x < dx:
+				dir, nx = dirEast, x+1
+			case x > dx:
+				dir, nx = dirWest, x-1
+			case y < dy:
+				dir, ny = dirSouth, y+1
+			default:
+				dir, ny = dirNorth, y-1
+			}
+			link := m.linkIndex(m.nodeAt(x, y), dir)
+			start := t
+			if m.linkFree[link] > start {
+				start = m.linkFree[link]
+			}
+			m.linkFree[link] = start + serialize
+			t = start + m.cfg.LinkLatency + m.cfg.RouterLatency
+			x, y = nx, ny
+			hops++
+		}
+		m.flitHops[msg.Class].Add(int64(msg.Flits * hops))
+	}
+
+	ep := m.endpoints[msg.Dst]
+	if ep == nil {
+		panic(fmt.Sprintf("noc: no endpoint attached to node %d", msg.Dst))
+	}
+	m.latency.Observe(int64(t - now))
+	m.engine.At(t, "noc.deliver", func() {
+		m.delivered.Inc()
+		ep.Deliver(msg)
+	})
+	return t
+}
+
+// TotalFlitHops returns the sum of flit-hops across all classes.
+func (m *Mesh) TotalFlitHops() int64 {
+	var total int64
+	for c := Class(0); c < NumClasses; c++ {
+		total += m.flitHops[c].Value()
+	}
+	return total
+}
+
+// FlitHops returns the flit-hops recorded for one class.
+func (m *Mesh) FlitHops(c Class) int64 { return m.flitHops[c].Value() }
+
+// Messages returns the message count recorded for one class.
+func (m *Mesh) Messages(c Class) int64 { return m.msgs[c].Value() }

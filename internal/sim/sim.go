@@ -1,0 +1,159 @@
+// Package sim implements the deterministic discrete-event simulation engine
+// that drives the CMP model. Components schedule callbacks at future cycles;
+// the engine executes them in (cycle, insertion-order) order, so two runs of
+// the same configuration produce bit-identical results.
+//
+// The engine is intentionally single-threaded: coherence-protocol debugging
+// and reproducible experiments both depend on a total, stable event order.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Cycle is a point in simulated time, measured in core clock cycles.
+type Cycle uint64
+
+// Event is a callback scheduled to run at a particular cycle.
+type Event func()
+
+type queuedEvent struct {
+	at   Cycle
+	seq  uint64 // tie-break: FIFO among events at the same cycle
+	tie  uint64 // actual tie-break key (== seq, or a keyed hash when fuzzing)
+	run  Event
+	name string // optional, for tracing
+}
+
+type eventQueue []*queuedEvent
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].tie < q[j].tie
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*queuedEvent)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return ev
+}
+
+// Engine owns the event queue and the simulated clock.
+type Engine struct {
+	now     Cycle
+	seq     uint64
+	queue   eventQueue
+	ran     uint64
+	Trace   func(at Cycle, name string) // optional event trace hook
+	halted  bool
+	shuffle uint64
+}
+
+// NewEngine returns an engine at cycle 0 with an empty queue.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// SetShuffleSeed switches same-cycle tie-breaking from FIFO to a
+// deterministic pseudo-random permutation keyed by seed (0 restores FIFO).
+// Component models must not depend on the accidental ordering of unrelated
+// events within one cycle; the protocol fuzz tests sweep seeds through this
+// knob to prove it. It must be set before any events are scheduled.
+func (e *Engine) SetShuffleSeed(seed uint64) {
+	if len(e.queue) != 0 {
+		panic("sim: SetShuffleSeed with events already queued")
+	}
+	e.shuffle = seed
+}
+
+// mix64 is the splitmix64 finalizer, used to derive shuffle tie-break keys.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Now returns the current simulated cycle.
+func (e *Engine) Now() Cycle { return e.now }
+
+// EventsRun returns the number of events executed so far.
+func (e *Engine) EventsRun() uint64 { return e.ran }
+
+// Pending returns the number of scheduled, not-yet-run events.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// At schedules fn to run at the absolute cycle at, which must not be in the
+// past. Events at the same cycle run in scheduling order.
+func (e *Engine) At(at Cycle, name string, fn Event) {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: scheduling event %q at cycle %d, before now (%d)", name, at, e.now))
+	}
+	e.seq++
+	tie := e.seq
+	if e.shuffle != 0 {
+		tie = mix64(e.seq ^ e.shuffle)
+	}
+	heap.Push(&e.queue, &queuedEvent{at: at, seq: e.seq, tie: tie, run: fn, name: name})
+}
+
+// After schedules fn to run delay cycles from now.
+func (e *Engine) After(delay Cycle, name string, fn Event) {
+	e.At(e.now+delay, name, fn)
+}
+
+// Halt stops Run after the current event completes, leaving any remaining
+// events queued. Used by watchdogs and by tests that inject failures.
+func (e *Engine) Halt() { e.halted = true }
+
+// Run executes events until the queue drains, limit events have run
+// (limit 0 means no limit), or Halt is called. It returns the number of
+// events executed by this call.
+func (e *Engine) Run(limit uint64) uint64 {
+	var n uint64
+	e.halted = false
+	for len(e.queue) > 0 && !e.halted {
+		if limit != 0 && n >= limit {
+			break
+		}
+		ev := heap.Pop(&e.queue).(*queuedEvent)
+		if ev.at < e.now {
+			panic("sim: time went backwards")
+		}
+		e.now = ev.at
+		if e.Trace != nil {
+			e.Trace(e.now, ev.name)
+		}
+		ev.run()
+		e.ran++
+		n++
+	}
+	return n
+}
+
+// RunUntil executes events with timestamps up to and including cycle end.
+// Events scheduled beyond end remain queued; the clock is left at the
+// timestamp of the last event executed (not advanced to end).
+func (e *Engine) RunUntil(end Cycle) uint64 {
+	var n uint64
+	e.halted = false
+	for len(e.queue) > 0 && !e.halted && e.queue[0].at <= end {
+		ev := heap.Pop(&e.queue).(*queuedEvent)
+		e.now = ev.at
+		if e.Trace != nil {
+			e.Trace(e.now, ev.name)
+		}
+		ev.run()
+		e.ran++
+		n++
+	}
+	return n
+}

@@ -1,0 +1,230 @@
+package system
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/coherence"
+	"repro/internal/energy"
+	"repro/internal/noc"
+)
+
+// Results aggregates the cross-component metrics one simulation produced.
+// Every figure and table in EXPERIMENTS.md is computed from these fields.
+type Results struct {
+	Config Config
+
+	// Time.
+	Cycles uint64
+	// AccessesPerKCycle is aggregate throughput: total accesses completed
+	// per thousand cycles (the performance metric; execution time for a
+	// fixed access count is Cycles).
+	AccessesPerKCycle float64
+
+	// Private-cache behavior. With an L2, L1Misses counts hierarchy
+	// (network) misses and L2Hits/L2Misses split the L1-miss stream.
+	Loads, Stores  int64
+	L1Hits         int64
+	L2Hits         int64
+	L2Misses       int64
+	L1Misses       int64
+	L1MissRate     float64
+	CoverageMisses int64
+	AvgMissLatency float64
+
+	// Invalidations received by L1s, by cause.
+	InvsDemand   int64
+	InvsRecall   int64
+	InvsLLCEvict int64
+	SpuriousInvs int64
+	// BroadcastInvalidations counts overflow broadcasts sent by banks
+	// under limited-pointer entry formats.
+	BroadcastInvalidations int64
+
+	// Directory behavior (summed over banks).
+	DirLookups        int64
+	DirHits           int64
+	DirMisses         int64
+	DirAllocations    int64
+	DirRemovals       int64
+	StashEvictions    int64
+	RecallEvictions   int64
+	CuckooRelocations int64
+	DirEntriesTotal   int
+	RealizedCoverage  float64
+
+	// Stash discovery.
+	DiscoveryBroadcasts int64
+	DiscoveryProbes     int64
+	DiscoveryFound      int64
+	DiscoveryStale      int64
+	HiddenSet           int64
+	HiddenCleared       int64
+
+	// LLC and memory.
+	LLCAccesses int64
+	LLCMisses   int64
+	MemReads    int64
+	MemWrites   int64
+
+	// Network.
+	TotalFlitHops   int64
+	FlitHopsByClass map[string]int64
+
+	// Occupancy sampling (when Config.SamplePeriod > 0).
+	AvgDirOccupancy    float64
+	AvgPrivateFraction float64
+	Sampled            bool
+
+	// Energy estimate.
+	Energy energy.Breakdown
+}
+
+// collect walks the fabric's statistics sets into a Results.
+func collect(cfg Config, fab *coherence.Fabric, procs []*coherence.Processor, sampler *occupancySampler) *Results {
+	r := &Results{Config: cfg, Cycles: uint64(fab.Engine.Now())}
+
+	var missLatSum, missLatN int64
+	for _, l1 := range fab.L1s {
+		s := l1.Stats()
+		r.Loads += s.Counter("loads").Value()
+		r.Stores += s.Counter("stores").Value()
+		r.L1Hits += s.Counter("hits").Value()
+		r.L1Misses += s.Counter("misses").Value()
+		r.CoverageMisses += s.Counter("coverage_misses").Value()
+		r.InvsDemand += s.Counter("invalidations.demand").Value()
+		r.InvsRecall += s.Counter("invalidations.recall").Value()
+		r.InvsLLCEvict += s.Counter("invalidations.llc-evict").Value()
+		r.SpuriousInvs += s.Counter("invalidations.spurious").Value()
+		r.L2Hits += s.Counter("l2_hits").Value()
+		r.L2Misses += s.Counter("l2_misses").Value()
+		h := s.Histogram("miss_latency")
+		missLatSum += h.Sum()
+		missLatN += h.Count()
+	}
+	if missLatN > 0 {
+		r.AvgMissLatency = float64(missLatSum) / float64(missLatN)
+	}
+	total := r.Loads + r.Stores
+	if total > 0 {
+		r.L1MissRate = float64(r.L1Misses) / float64(total)
+	}
+	if r.Cycles > 0 {
+		r.AccessesPerKCycle = float64(total) / float64(r.Cycles) * 1000
+	}
+
+	var llcHits int64
+	for _, bank := range fab.Banks {
+		d := bank.Directory().Stats()
+		r.DirLookups += d.Counter("lookups").Value()
+		r.DirHits += d.Counter("hits").Value()
+		r.DirMisses += d.Counter("misses").Value()
+		r.DirAllocations += d.Counter("allocations").Value()
+		r.DirRemovals += d.Counter("removals").Value()
+		r.StashEvictions += d.Counter("stash_evictions").Value()
+		r.RecallEvictions += d.Counter("recall_evictions").Value()
+		r.CuckooRelocations += d.Counter("relocations").Value()
+		r.DirEntriesTotal += bank.Directory().Capacity()
+
+		b := bank.Stats()
+		r.DiscoveryBroadcasts += b.Counter("discovery_broadcasts").Value()
+		r.DiscoveryProbes += b.Counter("discovery_probes_sent").Value()
+		r.DiscoveryFound += b.Counter("discovery_found").Value()
+		r.DiscoveryStale += b.Counter("discovery_stale").Value()
+		r.HiddenSet += b.Counter("hidden_set").Value()
+		r.HiddenCleared += b.Counter("hidden_cleared").Value()
+		r.BroadcastInvalidations += b.Counter("broadcast_invalidations").Value()
+
+		l := bank.LLC().Stats()
+		llcHits += l.Counter("hits").Value()
+		r.LLCMisses += l.Counter("misses").Value()
+	}
+	r.LLCAccesses = llcHits + r.LLCMisses
+	if r.DirEntriesTotal > 0 {
+		r.RealizedCoverage = float64(r.DirEntriesTotal) / float64(cfg.AggregatePrivateBlocks())
+	}
+
+	r.MemReads = fab.Memory.Stats().Counter("reads").Value()
+	r.MemWrites = fab.Memory.Stats().Counter("writes").Value()
+
+	r.FlitHopsByClass = make(map[string]int64, int(noc.NumClasses))
+	for c := noc.Class(0); c < noc.NumClasses; c++ {
+		v := fab.Mesh.FlitHops(c)
+		r.FlitHopsByClass[c.String()] = v
+		r.TotalFlitHops += v
+	}
+
+	if sampler != nil {
+		r.AvgDirOccupancy, r.AvgPrivateFraction, r.Sampled = sampler.averages()
+	}
+
+	dirWays := cfg.DirWays
+	if cfg.DirKind == DirFullMap {
+		dirWays = 1
+	}
+	dirEntries := r.DirEntriesTotal
+	if cfg.DirKind == DirFullMap {
+		// The ideal directory has no fixed size; charge it as if it were
+		// a 1x-coverage structure so energy comparisons stay meaningful.
+		dirEntries = cfg.AggregatePrivateBlocks()
+	}
+	r.Energy = energy.Default().Compute(energy.Counts{
+		Cycles:       r.Cycles,
+		DirLookups:   r.DirLookups,
+		DirWays:      dirWays,
+		DirUpdates:   r.DirAllocations + r.DirRemovals + r.StashEvictions + r.CuckooRelocations,
+		DirEntries:   dirEntries,
+		DirEntryBits: cfg.DirEntryBits(),
+		L1Accesses:   total,
+		LLCAccesses:  r.LLCAccesses,
+		LLCLines:     cfg.Cores * cfg.LLCSetsPerBank * cfg.LLCWays,
+		FlitHops:     r.TotalFlitHops,
+		MemAccesses:  r.MemReads + r.MemWrites,
+	})
+	return r
+}
+
+// InvalidationsConflict returns the conflict-induced invalidations (recall
+// + LLC eviction) — the quantity the stash directory eliminates.
+func (r *Results) InvalidationsConflict() int64 {
+	return r.InvsRecall + r.InvsLLCEvict
+}
+
+// DiscoveryPer1kLLCAccesses normalizes discovery broadcasts the way the
+// paper's overhead figure does.
+func (r *Results) DiscoveryPer1kLLCAccesses() float64 {
+	if r.LLCAccesses == 0 {
+		return 0
+	}
+	return float64(r.DiscoveryBroadcasts) / float64(r.LLCAccesses) * 1000
+}
+
+// Summary renders a human-readable report.
+func (r *Results) Summary() string {
+	var b strings.Builder
+	c := r.Config
+	fmt.Fprintf(&b, "workload=%s dir=%s coverage=%.4g cores=%d\n", c.WorkloadName(), c.DirKind, c.Coverage, c.Cores)
+	fmt.Fprintf(&b, "  cycles=%d  throughput=%.2f acc/kcycle  l1-miss-rate=%.4f  avg-miss-latency=%.1f\n",
+		r.Cycles, r.AccessesPerKCycle, r.L1MissRate, r.AvgMissLatency)
+	fmt.Fprintf(&b, "  invalidations: demand=%d recall=%d llc-evict=%d  coverage-misses=%d\n",
+		r.InvsDemand, r.InvsRecall, r.InvsLLCEvict, r.CoverageMisses)
+	fmt.Fprintf(&b, "  directory: entries=%d lookups=%d miss-rate=%.3f stash-evictions=%d recall-evictions=%d\n",
+		r.DirEntriesTotal, r.DirLookups, safeDiv(r.DirMisses, r.DirLookups), r.StashEvictions, r.RecallEvictions)
+	if r.DiscoveryBroadcasts > 0 {
+		fmt.Fprintf(&b, "  discovery: broadcasts=%d (%.2f per 1k LLC accesses) found=%d stale=%d\n",
+			r.DiscoveryBroadcasts, r.DiscoveryPer1kLLCAccesses(), r.DiscoveryFound, r.DiscoveryStale)
+	}
+	fmt.Fprintf(&b, "  network: flit-hops=%d  memory: reads=%d writes=%d\n", r.TotalFlitHops, r.MemReads, r.MemWrites)
+	fmt.Fprintf(&b, "  energy: %s\n", r.Energy)
+	if r.Sampled {
+		fmt.Fprintf(&b, "  occupancy=%.3f private-fraction=%.3f\n", r.AvgDirOccupancy, r.AvgPrivateFraction)
+	}
+	return b.String()
+}
+
+func safeDiv(a, b int64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}

@@ -1,0 +1,209 @@
+package system
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/cache"
+	"repro/internal/coherence"
+	"repro/internal/core"
+	"repro/internal/noc"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+func simCycle(v uint64) sim.Cycle { return sim.Cycle(v) }
+
+// log2 of a power of two (or the floor for other values).
+func log2(n int) uint {
+	var s uint
+	for 1<<(s+1) <= n {
+		s++
+	}
+	return s
+}
+
+// buildDirectory constructs one bank's directory slice.
+func buildDirectory(c *Config, bank int) (core.Directory, error) {
+	perBank := c.DirEntriesPerBank()
+	shift := log2(c.Cores)
+	assoc := core.AssocConfig{
+		Sets:       perBank / c.DirWays,
+		Ways:       c.DirWays,
+		IndexShift: shift,
+		Policy:     c.ReplacementPolicy,
+		Seed:       int64(bank) + 100,
+	}
+	switch c.DirKind {
+	case DirFullMap:
+		return core.NewFullMap(), nil
+	case DirSparse:
+		return core.NewSparse(assoc)
+	case DirStash:
+		return core.NewStash(core.StashConfig{AssocConfig: assoc})
+	case DirStashSS:
+		return core.NewStash(core.StashConfig{AssocConfig: assoc, StashSingletonShared: true})
+	case DirCuckoo:
+		return core.NewCuckoo(core.CuckooConfig{
+			Ways:        c.DirWays,
+			SlotsPerWay: perBank / c.DirWays,
+			Seed:        int64(bank) + 100,
+		})
+	}
+	return nil, fmt.Errorf("system: unknown directory kind %q", c.DirKind)
+}
+
+// Build assembles the fabric and processors for cfg without running them.
+// Most callers want Run; Build exists for examples and tools that attach
+// observers before driving the machine themselves.
+func Build(cfg Config) (*coherence.Fabric, []*coherence.Processor, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, nil, err
+	}
+	shape := meshShapes[cfg.Cores]
+
+	var l2 *cache.Config
+	if cfg.HasL2() {
+		l2 = &cache.Config{
+			Name: "l2", Sets: cfg.L2Sets, Ways: cfg.L2Ways, Policy: cfg.ReplacementPolicy,
+		}
+	}
+	fab, err := coherence.NewFabric(coherence.BuildConfig{
+		Params: cfg.params(),
+		Mesh:   noc.DefaultConfig(shape[0], shape[1]),
+		L1: cache.Config{
+			Name: "l1", Sets: cfg.L1Sets, Ways: cfg.L1Ways, Policy: cfg.ReplacementPolicy,
+		},
+		L2: l2,
+		LLC: cache.Config{
+			Name: "llc", Sets: cfg.LLCSetsPerBank, Ways: cfg.LLCWays,
+			IndexShift: log2(cfg.Cores), Policy: cfg.ReplacementPolicy,
+		},
+		NewDirectory: func(bank int) (core.Directory, error) {
+			return buildDirectory(&cfg, bank)
+		},
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	fab.Checker.SetEnabled(cfg.Checker)
+
+	sources, err := buildSources(&cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	procs, err := fab.AttachProcessors(sources)
+	if err != nil {
+		return nil, nil, err
+	}
+	return fab, procs, nil
+}
+
+// buildSources resolves the per-core access streams: synthetic generator
+// streams, or replayed trace files.
+func buildSources(cfg *Config) ([]coherence.AccessSource, error) {
+	sources := make([]coherence.AccessSource, cfg.Cores)
+	if len(cfg.TraceFiles) != 0 {
+		for i, path := range cfg.TraceFiles {
+			f, err := os.Open(path)
+			if err != nil {
+				return nil, fmt.Errorf("system: trace file: %w", err)
+			}
+			accs, err := trace.ParseAccesses(f)
+			f.Close()
+			if err != nil {
+				return nil, fmt.Errorf("system: %s: %w", path, err)
+			}
+			sources[i] = &coherence.SliceSource{Accesses: accs}
+		}
+		return sources, nil
+	}
+	mix, err := cfg.mix()
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < cfg.Cores; i++ {
+		s, err := trace.NewStream(mix, i, cfg.Cores, cfg.AccessesPerCore, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		sources[i] = s
+	}
+	return sources, nil
+}
+
+// Run builds the machine for cfg, drives it to completion and returns the
+// collected results. It fails on configuration errors, deadlock, oracle
+// violations or audit failures.
+func Run(cfg Config) (*Results, error) {
+	fab, procs, err := Build(cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	sampler := &occupancySampler{}
+	if cfg.SamplePeriod > 0 {
+		sampler.arm(fab, procs, sim.Cycle(cfg.SamplePeriod))
+	}
+
+	if err := fab.Drive(procs, 0); err != nil {
+		return nil, fmt.Errorf("system: %s/%s cov=%.3g: %w", cfg.DirKind, cfg.WorkloadName(), cfg.Coverage, err)
+	}
+	return collect(cfg, fab, procs, sampler), nil
+}
+
+// occupancySampler periodically walks the directory slices recording how
+// full they are and what fraction of live entries track private blocks.
+type occupancySampler struct {
+	samples      int
+	occupancySum float64
+	privateSum   float64
+}
+
+func (s *occupancySampler) arm(fab *coherence.Fabric, procs []*coherence.Processor, period sim.Cycle) {
+	var tick func()
+	tick = func() {
+		done := true
+		for _, p := range procs {
+			if !p.Finished() {
+				done = false
+				break
+			}
+		}
+		if done {
+			return // stop sampling; lets the event queue drain
+		}
+		s.sample(fab)
+		fab.Engine.After(period, "system.sample", tick)
+	}
+	fab.Engine.After(period, "system.sample", tick)
+}
+
+func (s *occupancySampler) sample(fab *coherence.Fabric) {
+	occupied, capacity, private := 0, 0, 0
+	for _, bank := range fab.Banks {
+		d := bank.Directory()
+		occ := d.OccupiedEntries()
+		occupied += occ
+		capacity += d.Capacity()
+		d.ForEach(func(e *core.Entry) {
+			if e.Private() {
+				private++
+			}
+		})
+	}
+	s.samples++
+	if capacity > 0 {
+		s.occupancySum += float64(occupied) / float64(capacity)
+	}
+	if occupied > 0 {
+		s.privateSum += float64(private) / float64(occupied)
+	}
+}
+
+func (s *occupancySampler) averages() (occupancy, private float64, ok bool) {
+	if s.samples == 0 {
+		return 0, 0, false
+	}
+	return s.occupancySum / float64(s.samples), s.privateSum / float64(s.samples), true
+}

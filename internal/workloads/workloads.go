@@ -1,0 +1,147 @@
+// Package workloads defines the named workload suite the experiments run:
+// ten synthetic mixes whose sharing behavior approximates the PARSEC and
+// SPLASH-2 programs the paper evaluates. The parameters were chosen so the
+// measured fraction of private (single-sharer) tracked blocks spans the
+// 70–95% range the paper's motivation data reports, with working sets large
+// enough to pressure under-provisioned directories.
+//
+// Mapping rationale (see DESIGN.md for the substitution argument):
+//
+//   - blackscholes, swaptions: embarrassingly parallel, tiny sharing.
+//   - bodytrack, ferret: pipeline parallelism → producer-consumer flavor.
+//   - canneal: huge, irregular working set with random fine-grain sharing.
+//   - dedup: pipeline + hashed shared pool.
+//   - fluidanimate: neighbor (boundary) sharing.
+//   - streamcluster: large read-shared centers table.
+//   - barnes, ocean: SPLASH-2 style migratory and read-write sharing.
+//   - radiosity: task-stealing over a shared scene graph (mixed sharing).
+//   - water: mostly-private molecular dynamics with a migratory reduction.
+package workloads
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/trace"
+)
+
+// suite is the named workload table.
+var suite = map[string]trace.Mix{
+	"blackscholes": {
+		Name:        "blackscholes",
+		PrivateFrac: 0.95, SharedReadFrac: 0.04, SharedRWFrac: 0.01,
+		WriteFrac:     0.25,
+		PrivateBlocks: 3072, SharedBlocks: 256,
+		ZipfS: 1.9,
+	},
+	"swaptions": {
+		Name:        "swaptions",
+		PrivateFrac: 0.92, SharedReadFrac: 0.07, SharedRWFrac: 0.01,
+		WriteFrac:     0.30,
+		PrivateBlocks: 2048, SharedBlocks: 192,
+		ZipfS: 1.8,
+	},
+	"bodytrack": {
+		Name:        "bodytrack",
+		PrivateFrac: 0.70, SharedReadFrac: 0.18, SharedRWFrac: 0.04, ProdConsFrac: 0.08,
+		WriteFrac:     0.25,
+		PrivateBlocks: 2048, SharedBlocks: 512, ProdConsBlocks: 128,
+		ZipfS: 1.6,
+	},
+	"ferret": {
+		Name:        "ferret",
+		PrivateFrac: 0.62, SharedReadFrac: 0.15, SharedRWFrac: 0.03, ProdConsFrac: 0.20,
+		WriteFrac:     0.20,
+		PrivateBlocks: 2560, SharedBlocks: 384, ProdConsBlocks: 192,
+		ZipfS: 1.5,
+	},
+	"canneal": {
+		Name:        "canneal",
+		PrivateFrac: 0.55, SharedReadFrac: 0.20, SharedRWFrac: 0.25,
+		WriteFrac:     0.30,
+		PrivateBlocks: 6144, SharedBlocks: 4096,
+		// Uniform: canneal's pointer chasing has almost no locality.
+		ZipfS: 0,
+	},
+	"dedup": {
+		Name:        "dedup",
+		PrivateFrac: 0.60, SharedReadFrac: 0.12, SharedRWFrac: 0.08, ProdConsFrac: 0.20,
+		WriteFrac:     0.30,
+		PrivateBlocks: 3072, SharedBlocks: 1024, ProdConsBlocks: 256,
+		ZipfS: 1.5,
+	},
+	"fluidanimate": {
+		Name:        "fluidanimate",
+		PrivateFrac: 0.72, SharedReadFrac: 0.06, SharedRWFrac: 0.04, ProdConsFrac: 0.18,
+		WriteFrac:     0.35,
+		PrivateBlocks: 2560, SharedBlocks: 384, ProdConsBlocks: 160,
+		ZipfS: 1.6,
+	},
+	"streamcluster": {
+		Name:        "streamcluster",
+		PrivateFrac: 0.48, SharedReadFrac: 0.45, SharedRWFrac: 0.07,
+		WriteFrac:     0.20,
+		PrivateBlocks: 2048, SharedBlocks: 2048,
+		ZipfS: 1.5,
+	},
+	"barnes": {
+		Name:        "barnes",
+		PrivateFrac: 0.55, SharedReadFrac: 0.15, SharedRWFrac: 0.10, MigratoryFrac: 0.20,
+		WriteFrac:     0.30,
+		PrivateBlocks: 2048, SharedBlocks: 768, MigratoryBlocks: 96,
+		MigratoryPhase: 12,
+		ZipfS:          1.5,
+	},
+	"radiosity": {
+		Name:        "radiosity",
+		PrivateFrac: 0.50, SharedReadFrac: 0.25, SharedRWFrac: 0.10, MigratoryFrac: 0.15,
+		WriteFrac:     0.25,
+		PrivateBlocks: 2048, SharedBlocks: 1536, MigratoryBlocks: 128,
+		MigratoryPhase: 10,
+		ZipfS:          1.4,
+	},
+	"water": {
+		Name:        "water",
+		PrivateFrac: 0.80, SharedReadFrac: 0.10, SharedRWFrac: 0.05, MigratoryFrac: 0.05,
+		WriteFrac:     0.30,
+		PrivateBlocks: 1536, SharedBlocks: 512, MigratoryBlocks: 48,
+		MigratoryPhase: 14,
+		ZipfS:          1.6,
+	},
+	"ocean": {
+		Name:        "ocean",
+		PrivateFrac: 0.62, SharedReadFrac: 0.10, SharedRWFrac: 0.12, ProdConsFrac: 0.10, MigratoryFrac: 0.06,
+		WriteFrac:     0.35,
+		PrivateBlocks: 4096, SharedBlocks: 1024, ProdConsBlocks: 192, MigratoryBlocks: 64,
+		MigratoryPhase: 16,
+		ZipfS:          1.45,
+	},
+}
+
+// Names returns the workload names in sorted order.
+func Names() []string {
+	names := make([]string, 0, len(suite))
+	for n := range suite {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Get returns the named workload mix.
+func Get(name string) (trace.Mix, error) {
+	m, ok := suite[name]
+	if !ok {
+		return trace.Mix{}, fmt.Errorf("workloads: unknown workload %q (have %v)", name, Names())
+	}
+	return m, nil
+}
+
+// MustGet is Get for known-valid names; it panics on error.
+func MustGet(name string) trace.Mix {
+	m, err := Get(name)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}

@@ -1,0 +1,79 @@
+package workloads
+
+import (
+	"testing"
+)
+
+func TestSuiteCompleteAndValid(t *testing.T) {
+	names := Names()
+	if len(names) != 12 {
+		t.Fatalf("suite has %d workloads, want 12", len(names))
+	}
+	for _, n := range names {
+		m, err := Get(n)
+		if err != nil {
+			t.Fatalf("Get(%q): %v", n, err)
+		}
+		if m.Name != n {
+			t.Errorf("workload %q has mismatched Name %q", n, m.Name)
+		}
+		if err := m.Validate(); err != nil {
+			t.Errorf("workload %q invalid: %v", n, err)
+		}
+	}
+}
+
+func TestNamesSorted(t *testing.T) {
+	names := Names()
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("names not sorted: %v", names)
+		}
+	}
+}
+
+func TestUnknown(t *testing.T) {
+	if _, err := Get("nope"); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustGet did not panic")
+		}
+	}()
+	MustGet("nope")
+}
+
+func TestSuiteCoversSharingSpectrum(t *testing.T) {
+	// The suite must include near-embarrassingly-parallel, pipeline,
+	// migratory and read-shared behaviors for the experiments to span the
+	// space the paper's suite spans.
+	var maxPrivate, maxProdCons, maxMigratory, maxSharedRead float64
+	for _, n := range Names() {
+		m := MustGet(n)
+		if m.PrivateFrac > maxPrivate {
+			maxPrivate = m.PrivateFrac
+		}
+		if m.ProdConsFrac > maxProdCons {
+			maxProdCons = m.ProdConsFrac
+		}
+		if m.MigratoryFrac > maxMigratory {
+			maxMigratory = m.MigratoryFrac
+		}
+		if m.SharedReadFrac > maxSharedRead {
+			maxSharedRead = m.SharedReadFrac
+		}
+	}
+	if maxPrivate < 0.9 {
+		t.Error("no highly private workload in the suite")
+	}
+	if maxProdCons < 0.15 {
+		t.Error("no pipeline-flavored workload in the suite")
+	}
+	if maxMigratory < 0.15 {
+		t.Error("no migratory workload in the suite")
+	}
+	if maxSharedRead < 0.4 {
+		t.Error("no read-shared workload in the suite")
+	}
+}

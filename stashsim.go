@@ -1,0 +1,86 @@
+// Package stashsim is the public API of the Stash Directory reproduction:
+// an event-driven 16-to-64-core CMP coherence simulator with pluggable
+// directory organizations, built to reproduce
+//
+//	Socrates Demetriades and Sangyeun Cho,
+//	"Stash Directory: A Scalable Directory for Many-Core Coherence",
+//	HPCA 2014.
+//
+// The simulated machine is a tiled mesh CMP: per-core private MESI L1s, a
+// shared inclusive banked LLC with a co-located directory slice per bank, a
+// 2D-mesh NoC with XY routing and link contention, and a fixed-latency
+// memory. Four directory organizations are provided: an ideal full-map
+// directory, a conventional sparse directory (strict inclusion,
+// back-invalidating), a cuckoo-hashed directory, and the paper's stash
+// directory (relaxed inclusion with LLC hidden bits and discovery
+// broadcasts).
+//
+// # Quick start
+//
+//	cfg := stashsim.DefaultConfig("canneal")
+//	cfg.DirKind = stashsim.DirStash
+//	cfg.Coverage = 0.125 // a directory 1/8 the aggregate L1 capacity
+//	res, err := stashsim.Run(cfg)
+//	if err != nil { ... }
+//	fmt.Println(res.Summary())
+//
+// Every run is deterministic in its Config (including Seed) and is checked
+// end to end by a data-value oracle and quiescent-state invariant audits
+// unless Config.Checker is disabled.
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// reproduction of every figure and table in the paper's evaluation.
+package stashsim
+
+import (
+	"repro/internal/system"
+	"repro/internal/trace"
+	"repro/internal/workloads"
+)
+
+// Config describes one simulation; see the field documentation in
+// internal/system. Construct it with DefaultConfig or QuickConfig and
+// override fields as needed.
+type Config = system.Config
+
+// Results carries everything a run measured; experiment harnesses and
+// examples read its fields directly.
+type Results = system.Results
+
+// Mix parameterizes a synthetic workload's sharing behavior; pass a custom
+// one via Config.CustomMix.
+type Mix = trace.Mix
+
+// Directory organization names for Config.DirKind.
+const (
+	DirFullMap = system.DirFullMap
+	DirSparse  = system.DirSparse
+	DirStash   = system.DirStash
+	DirStashSS = system.DirStashSS
+	DirCuckoo  = system.DirCuckoo
+)
+
+// DefaultConfig returns the paper's 16-core model (32KB L1s, 16MB LLC,
+// 4x4 mesh) running the named workload with the stash directory at 1x
+// coverage.
+func DefaultConfig(workload string) Config { return system.DefaultConfig(workload) }
+
+// QuickConfig returns a proportionally scaled-down machine that preserves
+// the full model's capacity ratios while running an order of magnitude
+// faster; the benchmark harness uses it.
+func QuickConfig(workload string) Config { return system.QuickConfig(workload) }
+
+// Run builds the machine described by cfg, drives it to completion, and
+// returns the collected results. It fails on configuration errors,
+// protocol deadlock, value-oracle violations, or invariant-audit failures.
+func Run(cfg Config) (*Results, error) { return system.Run(cfg) }
+
+// Workloads returns the names of the built-in workload suite.
+func Workloads() []string { return workloads.Names() }
+
+// Workload returns the named built-in workload mix, for inspection or as a
+// starting point for a custom one.
+func Workload(name string) (Mix, error) { return workloads.Get(name) }
+
+// DirKinds returns the accepted directory organization names.
+func DirKinds() []string { return system.DirKinds() }

@@ -1,0 +1,104 @@
+package stashsim_test
+
+import (
+	"strings"
+	"testing"
+
+	stashsim "repro"
+)
+
+// tinyConfig is a fast facade-level configuration.
+func tinyConfig(workload, kind string, coverage float64) stashsim.Config {
+	cfg := stashsim.QuickConfig(workload)
+	cfg.DirKind = kind
+	cfg.Coverage = coverage
+	cfg.Cores = 4
+	cfg.AccessesPerCore = 2000
+	cfg.WorkloadScale = 0.1
+	return cfg
+}
+
+func TestFacadeRun(t *testing.T) {
+	res, err := stashsim.Run(tinyConfig("canneal", stashsim.DirStash, 0.25))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles == 0 {
+		t.Fatal("no cycles simulated")
+	}
+	if !strings.Contains(res.Summary(), "stash") {
+		t.Fatalf("summary missing directory kind: %s", res.Summary())
+	}
+}
+
+func TestFacadeWorkloads(t *testing.T) {
+	names := stashsim.Workloads()
+	if len(names) < 10 {
+		t.Fatalf("expected >= 10 workloads, got %d", len(names))
+	}
+	for _, n := range names {
+		mix, err := stashsim.Workload(n)
+		if err != nil {
+			t.Errorf("Workload(%q): %v", n, err)
+		}
+		if err := mix.Validate(); err != nil {
+			t.Errorf("workload %q invalid: %v", n, err)
+		}
+	}
+	if _, err := stashsim.Workload("nope"); err == nil {
+		t.Error("unknown workload accepted")
+	}
+}
+
+func TestFacadeDirKinds(t *testing.T) {
+	kinds := stashsim.DirKinds()
+	want := map[string]bool{
+		stashsim.DirFullMap: true, stashsim.DirSparse: true,
+		stashsim.DirStash: true, stashsim.DirStashSS: true, stashsim.DirCuckoo: true,
+	}
+	if len(kinds) != len(want) {
+		t.Fatalf("kinds = %v", kinds)
+	}
+	for _, k := range kinds {
+		if !want[k] {
+			t.Errorf("unexpected kind %q", k)
+		}
+	}
+}
+
+func TestFacadeCustomMix(t *testing.T) {
+	cfg := tinyConfig("", stashsim.DirStash, 0.5)
+	cfg.Workload = ""
+	cfg.CustomMix = &stashsim.Mix{
+		Name:        "mine",
+		PrivateFrac: 1.0, WriteFrac: 0.2, PrivateBlocks: 128,
+	}
+	if _, err := stashsim.Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeRejectsBadConfig(t *testing.T) {
+	cfg := tinyConfig("canneal", "no-such-dir", 0.25)
+	if _, err := stashsim.Run(cfg); err == nil {
+		t.Fatal("bad directory kind accepted")
+	}
+}
+
+// TestHeadlineClaim verifies, at facade level and test scale, the
+// abstract's core claim: stash at 1/8 the directory size does not
+// compromise performance relative to the conventional sparse baseline.
+func TestHeadlineClaim(t *testing.T) {
+	base, err := stashsim.Run(tinyConfig("canneal", stashsim.DirSparse, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stash, err := stashsim.Run(tinyConfig("canneal", stashsim.DirStash, 0.125))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(stash.Cycles) / float64(base.Cycles)
+	if ratio > 1.10 {
+		t.Errorf("stash@1/8 runs at %.3fx the sparse@1x time, want <= 1.10", ratio)
+	}
+}
