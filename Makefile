@@ -1,0 +1,24 @@
+# Repo verification targets. `make ci` is what the verify step runs: it
+# vets everything and runs the full suite under the race detector, which
+# exercises the concurrent paths of internal/runner and cmd/stashd.
+
+GO ?= go
+
+.PHONY: ci build test race vet bench
+
+ci: vet race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem

@@ -29,12 +29,13 @@ func main() {
 		only      = flag.String("only", "", "comma-separated experiment ids (default: all)")
 		workloads = flag.String("workloads", "", "comma-separated workload subset (default: all)")
 		verbose   = flag.Bool("v", false, "print per-run progress")
-		parallel  = flag.Int("j", 1, "concurrent simulations in sweeps (-1 = all cores)")
+		parallel  = flag.Int("j", -1, "concurrent simulations in sweeps (-1 = all cores)")
+		cacheDir  = flag.String("cache-dir", "", "persist simulation results here so repeated invocations reuse them")
 		csv       = flag.Bool("csv", false, "emit CSV instead of aligned text tables")
 	)
 	flag.Parse()
 
-	opts := experiments.Options{Quick: !*full, Parallel: *parallel}
+	opts := experiments.Options{Quick: !*full, Parallel: *parallel, CacheDir: *cacheDir}
 	if *workloads != "" {
 		opts.Workloads = strings.Split(*workloads, ",")
 	}
@@ -87,7 +88,12 @@ func main() {
 		}
 		if len(unknown) > 0 {
 			sort.Strings(unknown)
-			fmt.Fprintf(os.Stderr, "experiments: unknown ids %v\n", unknown)
+			valid := make([]string, len(all))
+			for i, e := range all {
+				valid[i] = e.id
+			}
+			fmt.Fprintf(os.Stderr, "experiments: unknown ids %v\nvalid ids: %s\n",
+				unknown, strings.Join(valid, " "))
 			os.Exit(2)
 		}
 	}

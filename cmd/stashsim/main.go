@@ -9,14 +9,18 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 
 	stashsim "repro"
+	"repro/internal/runner"
 )
 
 func main() {
@@ -34,6 +38,7 @@ func main() {
 		sample   = flag.Uint64("sample-period", 20_000, "directory occupancy sampling period in cycles (0 = off)")
 		traceDir = flag.String("trace-dir", "", "replay core<NN>.trace files from this directory instead of a synthetic workload")
 		jsonOut  = flag.Bool("json", false, "emit the full results as JSON instead of the text summary")
+		cacheDir = flag.String("cache-dir", "", "reuse results from this disk cache directory (shared with stashd and experiments)")
 		list     = flag.Bool("list", false, "list workloads and directory kinds, then exit")
 	)
 	flag.Parse()
@@ -66,7 +71,14 @@ func main() {
 		}
 	}
 
-	res, err := stashsim.Run(cfg)
+	// Execute through the shared run service so -cache-dir reuses (and
+	// feeds) the same disk cache stashd and the experiment harness use,
+	// and Ctrl-C cancels a queued run cleanly.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	r := runner.New(runner.Options{Workers: 1, CacheDir: *cacheDir})
+	defer r.Close()
+	res, err := r.Run(ctx, cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "stashsim:", err)
 		os.Exit(1)

@@ -9,12 +9,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
-	"runtime"
 	"strings"
-	"sync"
 
+	"repro/internal/runner"
 	"repro/internal/stats"
 	"repro/internal/system"
 	"repro/internal/workloads"
@@ -40,21 +40,55 @@ type Options struct {
 	// experiment batches independent runs (sweeps). 0 or 1 means
 	// sequential; negative means GOMAXPROCS.
 	Parallel int
+	// CacheDir, when non-empty, persists simulation results to disk (via
+	// the shared internal/runner cache) so repeated sweeps across process
+	// restarts reuse earlier runs.
+	CacheDir string
 }
 
-// Harness memoizes simulation runs across experiments. It is safe for the
-// batched runners below; the per-figure methods themselves are not meant to
-// be called from multiple goroutines.
+// Harness memoizes simulation runs across experiments by delegating every
+// execution to an internal/runner job engine — the same engine cmd/stashd
+// serves over HTTP — so batching, deduplication, cancellation and the
+// (optional) disk cache behave identically everywhere. The batched runners
+// below are safe for concurrent simulations; the per-figure methods
+// themselves are not meant to be called from multiple goroutines.
 type Harness struct {
-	opts  Options
-	mu    sync.Mutex
-	cache map[string]*system.Results
+	opts   Options
+	runner *runner.Runner
 }
 
 // NewHarness returns a harness with an empty run cache.
 func NewHarness(opts Options) *Harness {
-	return &Harness{opts: opts, cache: make(map[string]*system.Results)}
+	workers := opts.Parallel
+	if workers >= 0 && workers <= 1 {
+		workers = 1 // 0 or 1 means sequential; runner treats <=0 as GOMAXPROCS
+	}
+	h := &Harness{opts: opts}
+	h.runner = runner.New(runner.Options{
+		Workers:  workers,
+		CacheDir: opts.CacheDir,
+		// Sweeps revisit every run when rendering tables; keep them all.
+		MemoryEntries: runner.UnlimitedMemory,
+		Events:        h.onEvent,
+	})
+	return h
 }
+
+// onEvent adapts runner lifecycle events to the Progress callback: one
+// line per actually-simulated run, matching the harness's historic format.
+func (h *Harness) onEvent(e runner.Event) {
+	progress := h.opts.Progress
+	if progress == nil || e.Kind != runner.EventFinished || e.CacheHit != "" {
+		return
+	}
+	cfg := e.Config
+	progress(fmt.Sprintf("ran %s/%s cov=%.4g cores=%d: %d cycles",
+		cfg.DirKind, cfg.WorkloadName(), cfg.Coverage, cfg.Cores, e.Result.Cycles))
+}
+
+// Close drains the harness's worker pool. Optional: a harness that is
+// simply dropped leaks only idle goroutines.
+func (h *Harness) Close() { h.runner.Close() }
 
 // workloadList resolves the workload set.
 func (h *Harness) workloadList() []string {
@@ -78,89 +112,18 @@ func (h *Harness) baseConfig(workload string) system.Config {
 	return cfg
 }
 
-// key canonicalizes a config for memoization.
-func key(c system.Config) string {
-	return fmt.Sprintf("%s|%s|%g|%d|%d|%d|%d|%d|%d|%d|%d|%v|%d|%d|%g|%d|%v|%d|%v|%d|%d",
-		c.WorkloadName(), c.DirKind, c.Coverage, c.DirWays, c.Cores,
-		c.L1Sets, c.L1Ways, c.L2Sets, c.L2Ways, c.LLCSetsPerBank, c.LLCWays,
-		c.SilentCleanEvictions, c.AccessesPerCore, c.Seed, c.WorkloadScale,
-		c.SamplePeriod, c.Checker, c.ReplacementPolicy,
-		c.ThreeHopForwarding, c.MSHRs, c.PointerLimit)
-}
-
-// run executes (or recalls) one simulation.
+// run executes (or recalls) one simulation through the shared job engine.
 func (h *Harness) run(cfg system.Config) (*system.Results, error) {
-	k := key(cfg)
-	h.mu.Lock()
-	if r, ok := h.cache[k]; ok {
-		h.mu.Unlock()
-		return r, nil
-	}
-	h.mu.Unlock()
-	r, err := system.Run(cfg)
-	if err != nil {
-		return nil, err
-	}
-	h.mu.Lock()
-	h.cache[k] = r
-	progress := h.opts.Progress
-	h.mu.Unlock()
-	if progress != nil {
-		progress(fmt.Sprintf("ran %s/%s cov=%.4g cores=%d: %d cycles",
-			cfg.DirKind, cfg.WorkloadName(), cfg.Coverage, cfg.Cores, r.Cycles))
-	}
-	return r, nil
+	return h.runner.Run(context.Background(), cfg)
 }
 
 // runAll executes a batch of independent configurations, up to
 // Options.Parallel at a time, filling the memo cache. Simulations are
 // single-threaded and deterministic, so running several concurrently
-// changes wall-clock time only.
+// changes wall-clock time only. The runner deduplicates identical configs
+// and cancels still-queued work as soon as one simulation fails.
 func (h *Harness) runAll(cfgs []system.Config) error {
-	par := h.opts.Parallel
-	if par < 0 {
-		par = runtime.GOMAXPROCS(0)
-	}
-	if par <= 1 || len(cfgs) <= 1 {
-		for _, cfg := range cfgs {
-			if _, err := h.run(cfg); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-	// Deduplicate by memo key so one config is never simulated twice
-	// concurrently.
-	seen := map[string]bool{}
-	var unique []system.Config
-	for _, cfg := range cfgs {
-		k := key(cfg)
-		if !seen[k] {
-			seen[k] = true
-			unique = append(unique, cfg)
-		}
-	}
-	sem := make(chan struct{}, par)
-	var wg sync.WaitGroup
-	var errMu sync.Mutex
-	var firstErr error
-	for _, cfg := range unique {
-		cfg := cfg
-		wg.Add(1)
-		sem <- struct{}{}
-		go func() {
-			defer func() { <-sem; wg.Done() }()
-			if _, err := h.run(cfg); err != nil {
-				errMu.Lock()
-				if firstErr == nil {
-					firstErr = err
-				}
-				errMu.Unlock()
-			}
-		}()
-	}
-	wg.Wait()
-	return firstErr
+	return h.runner.RunAll(context.Background(), cfgs)
 }
 
 // sweep runs (workload x coverage) for one directory kind, batching the

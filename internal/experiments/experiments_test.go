@@ -11,9 +11,16 @@ import (
 // tinyHarness shrinks runs so the whole experiment suite stays fast in
 // tests while preserving the capacity ratios.
 func tinyHarness(workloads ...string) *Harness {
+	return tinyHarnessParallel(0, workloads...)
+}
+
+// tinyHarnessParallel is tinyHarness with an explicit worker count, which
+// must be fixed at construction time now that the harness owns a pool.
+func tinyHarnessParallel(parallel int, workloads ...string) *Harness {
 	return NewHarness(Options{
 		Quick:     true,
 		Workloads: workloads,
+		Parallel:  parallel,
 		ConfigHook: func(c *system.Config) {
 			c.AccessesPerCore = 4000
 			c.WorkloadScale = 0.25
@@ -279,8 +286,7 @@ func TestFig14PrivateL2Shape(t *testing.T) {
 
 func TestParallelSweepMatchesSequential(t *testing.T) {
 	seq := tinyHarness("canneal", "barnes")
-	par := tinyHarness("canneal", "barnes")
-	par.opts.Parallel = 4
+	par := tinyHarnessParallel(4, "canneal", "barnes")
 	a, err := seq.Fig3ExecTime()
 	if err != nil {
 		t.Fatal(err)
@@ -294,6 +300,49 @@ func TestParallelSweepMatchesSequential(t *testing.T) {
 			if b.Geomean[kind][i] != v {
 				t.Fatalf("parallel diverged: %s[%d] %v vs %v", kind, i, v, b.Geomean[kind][i])
 			}
+		}
+	}
+}
+
+// TestSweepSummariesDeterministicAcrossParallelism asserts full-fidelity
+// determinism: the complete Results.Summary() of every run in a sweep is
+// byte-identical whether the sweep executed sequentially or on 8 workers.
+func TestSweepSummariesDeterministicAcrossParallelism(t *testing.T) {
+	summaries := func(parallel int) []string {
+		h := tinyHarnessParallel(parallel, "canneal", "barnes")
+		defer h.Close()
+		var batch []system.Config
+		for _, w := range h.workloadList() {
+			for _, cov := range []float64{1, 0.25} {
+				for _, kind := range []string{system.DirSparse, system.DirStash} {
+					cfg := h.baseConfig(w)
+					cfg.DirKind = kind
+					cfg.Coverage = cov
+					batch = append(batch, cfg)
+				}
+			}
+		}
+		if err := h.runAll(batch); err != nil {
+			t.Fatal(err)
+		}
+		var out []string
+		for _, cfg := range batch {
+			r, err := h.run(cfg) // memo hit
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, r.Summary())
+		}
+		return out
+	}
+	seq := summaries(1)
+	par := summaries(8)
+	if len(seq) != len(par) {
+		t.Fatalf("summary counts differ: %d vs %d", len(seq), len(par))
+	}
+	for i := range seq {
+		if seq[i] != par[i] {
+			t.Errorf("run %d diverged between Parallel=1 and Parallel=8:\n--- sequential:\n%s--- parallel:\n%s", i, seq[i], par[i])
 		}
 	}
 }

@@ -1,0 +1,121 @@
+package runner
+
+import (
+	"container/list"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/system"
+)
+
+// Cache-hit provenance values recorded on jobs and events.
+const (
+	HitMemory = "memory"
+	HitDisk   = "disk"
+)
+
+// memCache is a mutex-guarded LRU of completed results keyed by config key.
+// A non-positive capacity means unlimited (the experiment harness keeps
+// every run of a sweep alive; the server bounds it).
+type memCache struct {
+	cap   int
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+}
+
+type memEntry struct {
+	key string
+	res *system.Results
+}
+
+func newMemCache(capacity int) *memCache {
+	return &memCache{cap: capacity, ll: list.New(), items: make(map[string]*list.Element)}
+}
+
+func (c *memCache) get(key string) (*system.Results, bool) {
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*memEntry).res, true
+}
+
+func (c *memCache) put(key string, res *system.Results) {
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*memEntry).res = res
+		return
+	}
+	c.items[key] = c.ll.PushFront(&memEntry{key: key, res: res})
+	if c.cap > 0 && c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*memEntry).key)
+	}
+}
+
+// diskEnvelope is the on-disk JSON schema: the key guards against renamed
+// files, the config documents what produced the result.
+type diskEnvelope struct {
+	Key     string          `json:"key"`
+	SavedAt time.Time       `json:"savedAt"`
+	Config  system.Config   `json:"config"`
+	Results *system.Results `json:"results"`
+}
+
+// diskCache persists one JSON file per result under a directory. Every
+// failure mode on the read path — missing file, unreadable file, corrupt
+// JSON, key mismatch — degrades to a cache miss; the write path is atomic
+// (temp file + rename) so a crashed writer can at worst leave a stale temp
+// file, never a half-written entry.
+type diskCache struct {
+	dir string
+}
+
+func (d *diskCache) path(key string) string {
+	return filepath.Join(d.dir, key+".json")
+}
+
+func (d *diskCache) get(key string) (*system.Results, bool) {
+	b, err := os.ReadFile(d.path(key))
+	if err != nil {
+		return nil, false
+	}
+	var env diskEnvelope
+	if err := json.Unmarshal(b, &env); err != nil {
+		return nil, false // corrupt file: treat as a miss
+	}
+	if env.Key != key || env.Results == nil {
+		return nil, false
+	}
+	return env.Results, true
+}
+
+func (d *diskCache) put(key string, cfg system.Config, res *system.Results) error {
+	if err := os.MkdirAll(d.dir, 0o755); err != nil {
+		return err
+	}
+	b, err := json.MarshalIndent(diskEnvelope{
+		Key: key, SavedAt: time.Now().UTC(), Config: cfg, Results: res,
+	}, "", " ")
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(d.dir, key+".tmp*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(b); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), d.path(key))
+}

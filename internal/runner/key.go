@@ -1,0 +1,28 @@
+package runner
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/system"
+)
+
+// Key returns the canonical cache key of a configuration: the hex-encoded
+// (truncated) SHA-256 of its canonical JSON encoding. Two configs produce
+// the same key exactly when every field — workload selection, machine
+// geometry, protocol knobs, seed — is equal, so a key identifies one
+// deterministic simulation outcome. Keys are stable across processes and
+// releases as long as the Config schema is unchanged, which is what lets
+// the disk cache survive restarts.
+func Key(cfg system.Config) (string, error) {
+	// encoding/json emits struct fields in declaration order and Config
+	// contains no maps, so the encoding is canonical.
+	b, err := json.Marshal(cfg)
+	if err != nil {
+		return "", fmt.Errorf("runner: canonicalize config: %w", err)
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:16]), nil
+}

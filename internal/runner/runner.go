@@ -1,0 +1,601 @@
+// Package runner is the run-service job engine: it executes system.Config
+// simulations on a bounded worker pool with context cancellation, per-job
+// timeouts, panic recovery and bounded retry, in front of a two-level
+// result cache (in-memory LRU backed by JSON files on disk) keyed by a
+// stable hash of the canonicalized Config. Identical configs submitted
+// concurrently coalesce onto one execution. Every job emits structured
+// lifecycle events and aggregate counters, which cmd/stashd serves over
+// HTTP and the experiment harness adapts into its progress callback.
+//
+// All entry points (Run, RunAll, Submit, Metrics, Job) are safe for
+// concurrent use.
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/system"
+)
+
+// DefaultMemoryEntries bounds the in-memory result cache when
+// Options.MemoryEntries is zero.
+const DefaultMemoryEntries = 4096
+
+// UnlimitedMemory disables the in-memory LRU bound; the experiment harness
+// uses it so a whole sweep stays memoized.
+const UnlimitedMemory = -1
+
+// maxRetainedJobs bounds how many finished jobs stay queryable by ID.
+const maxRetainedJobs = 4096
+
+// ErrClosed is returned by submissions after Close.
+var ErrClosed = errors.New("runner: closed")
+
+// Options configure a Runner. The zero value is usable: GOMAXPROCS
+// workers, no timeout, no retries, no disk cache, a default-bounded
+// memory cache, no event sink.
+type Options struct {
+	// Workers bounds concurrent simulations; <= 0 means GOMAXPROCS.
+	Workers int
+	// Timeout bounds one simulation attempt; 0 disables. A timed-out
+	// simulation cannot be preempted — it is abandoned to finish in the
+	// background while its job reports failure.
+	Timeout time.Duration
+	// Retries is how many times a transient failure (panic, or an error
+	// wrapped with Transient) is re-attempted. Deterministic simulation
+	// errors are never retried.
+	Retries int
+	// CacheDir, when non-empty, persists results as JSON files so
+	// identical configs hit the cache across process restarts. Corrupt or
+	// unreadable entries degrade to misses.
+	CacheDir string
+	// MemoryEntries bounds the in-memory LRU in front of the disk cache:
+	// 0 selects DefaultMemoryEntries, UnlimitedMemory (< 0) removes the
+	// bound.
+	MemoryEntries int
+	// Events, when non-nil, receives every lifecycle event. It is called
+	// synchronously from runner goroutines and must be fast and
+	// concurrency-safe.
+	Events func(Event)
+	// DisableCache turns the runner into a pure bounded-concurrency
+	// executor: no memoization, no disk persistence, no coalescing of
+	// identical submissions — every Submit simulates. The public facade
+	// uses this so library callers keep run-every-call semantics while
+	// sharing the pool, panic recovery and retry machinery.
+	DisableCache bool
+}
+
+// State is a job's lifecycle position.
+type State string
+
+// Job states.
+const (
+	StateQueued  State = "queued"
+	StateRunning State = "running"
+	StateDone    State = "done"
+	StateFailed  State = "failed"
+)
+
+// Job is one submitted simulation. Identical configs submitted while a job
+// is queued or running share that job.
+type Job struct {
+	id   string
+	key  string
+	cfg  system.Config
+	ctx  context.Context
+	done chan struct{}
+
+	mu         sync.Mutex
+	state      State
+	enqueuedAt time.Time
+	startedAt  time.Time
+	finishedAt time.Time
+	attempts   int
+	cacheHit   string
+	result     *system.Results
+	err        error
+}
+
+// ID returns the job's runner-unique identifier.
+func (j *Job) ID() string { return j.id }
+
+// Key returns the job's config cache key.
+func (j *Job) Key() string { return j.key }
+
+// Config returns the job's configuration.
+func (j *Job) Config() system.Config { return j.cfg }
+
+// Done returns a channel closed when the job finishes.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Wait blocks until the job finishes or ctx is cancelled. A cancelled wait
+// abandons only this waiter; the job itself keeps running for others.
+func (j *Job) Wait(ctx context.Context) (*system.Results, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	select {
+	case <-j.done:
+		j.mu.Lock()
+		defer j.mu.Unlock()
+		return j.result, j.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// JobStatus is a serializable snapshot of a job, served by GET /jobs/{id}.
+type JobStatus struct {
+	ID         string    `json:"id"`
+	Key        string    `json:"key"`
+	State      State     `json:"state"`
+	Workload   string    `json:"workload"`
+	DirKind    string    `json:"dirKind"`
+	Coverage   float64   `json:"coverage"`
+	Cores      int       `json:"cores"`
+	Attempts   int       `json:"attempts"`
+	CacheHit   string    `json:"cacheHit,omitempty"`
+	EnqueuedAt time.Time `json:"enqueuedAt"`
+	StartedAt  time.Time `json:"startedAt"`
+	FinishedAt time.Time `json:"finishedAt"`
+	DurationMS float64   `json:"durationMs"`
+	Cycles     uint64    `json:"cycles,omitempty"`
+	Error      string    `json:"error,omitempty"`
+}
+
+// Status snapshots the job.
+func (j *Job) Status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	s := JobStatus{
+		ID:         j.id,
+		Key:        j.key,
+		State:      j.state,
+		Workload:   j.cfg.WorkloadName(),
+		DirKind:    j.cfg.DirKind,
+		Coverage:   j.cfg.Coverage,
+		Cores:      j.cfg.Cores,
+		Attempts:   j.attempts,
+		CacheHit:   j.cacheHit,
+		EnqueuedAt: j.enqueuedAt,
+		StartedAt:  j.startedAt,
+		FinishedAt: j.finishedAt,
+	}
+	if !j.startedAt.IsZero() && !j.finishedAt.IsZero() {
+		s.DurationMS = float64(j.finishedAt.Sub(j.startedAt)) / float64(time.Millisecond)
+	}
+	if j.result != nil {
+		s.Cycles = j.result.Cycles
+	}
+	if j.err != nil {
+		s.Error = j.err.Error()
+	}
+	return s
+}
+
+// transientError marks an error as retryable.
+type transientError struct{ err error }
+
+func (e *transientError) Error() string { return e.err.Error() }
+func (e *transientError) Unwrap() error { return e.err }
+
+// Transient wraps err so the runner retries it (up to Options.Retries).
+// The runner classifies simulation panics as transient itself; execution
+// backends with genuinely flaky failure modes wrap their errors with this.
+func Transient(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &transientError{err}
+}
+
+// IsTransient reports whether err is marked retryable.
+func IsTransient(err error) bool {
+	var t *transientError
+	return errors.As(err, &t)
+}
+
+// Runner executes simulation jobs. Create one with New and release it with
+// Close.
+type Runner struct {
+	opts Options
+	// execute is the simulation backend; tests substitute it.
+	execute func(system.Config) (*system.Results, error)
+
+	mem  *memCache
+	disk *diskCache
+	met  counters
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	pending  []*Job          // FIFO work queue
+	inflight map[string]*Job // key -> queued or running job
+	jobs     map[string]*Job // id -> job (bounded retention)
+	finished []string        // finished job ids, oldest first
+	seq      int
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+// New starts a runner and its worker pool.
+func New(opts Options) *Runner {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	memEntries := opts.MemoryEntries
+	if memEntries == 0 {
+		memEntries = DefaultMemoryEntries
+	}
+	if memEntries < 0 {
+		memEntries = 0 // memCache treats non-positive as unlimited
+	}
+	r := &Runner{
+		opts:     opts,
+		execute:  system.Run,
+		mem:      newMemCache(memEntries),
+		inflight: make(map[string]*Job),
+		jobs:     make(map[string]*Job),
+	}
+	if opts.CacheDir != "" {
+		r.disk = &diskCache{dir: opts.CacheDir}
+	}
+	r.cond = sync.NewCond(&r.mu)
+	r.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go r.worker()
+	}
+	return r
+}
+
+// Run submits cfg and waits for its result. Identical concurrent and past
+// runs are shared through the job table and caches.
+func (r *Runner) Run(ctx context.Context, cfg system.Config) (*system.Results, error) {
+	j, err := r.Submit(ctx, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return j.Wait(ctx)
+}
+
+// RunAll executes a batch of independent configurations (deduplicated by
+// cache key) and waits for all of them. The first failure cancels every
+// job that has not started yet; RunAll returns that first error.
+func (r *Runner) RunAll(ctx context.Context, cfgs []system.Config) error {
+	if len(cfgs) == 0 {
+		return nil
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	seen := make(map[string]bool, len(cfgs))
+	var jobs []*Job
+	for _, cfg := range cfgs {
+		j, err := r.Submit(ctx, cfg)
+		if err != nil {
+			return err // defer cancel() aborts the already-queued jobs
+		}
+		if seen[j.key] {
+			continue
+		}
+		seen[j.key] = true
+		jobs = append(jobs, j)
+	}
+
+	errc := make(chan error, len(jobs))
+	for _, j := range jobs {
+		go func(j *Job) {
+			_, err := j.Wait(ctx)
+			errc <- err
+		}(j)
+	}
+	var firstErr error
+	for range jobs {
+		if err := <-errc; err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			cancel() // stop launching queued work
+		}
+	}
+	return firstErr
+}
+
+// Submit enqueues cfg and returns its job without waiting. Cache hits
+// return an already-finished job; an identical queued or running config
+// returns that existing job.
+func (r *Runner) Submit(ctx context.Context, cfg system.Config) (*Job, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	key, err := Key(cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if !r.opts.DisableCache {
+		if j, ok := r.inflight[key]; ok {
+			r.met.coalesced.Add(1)
+			r.mu.Unlock()
+			return j, nil
+		}
+		if res, ok := r.mem.get(key); ok {
+			j := r.completeFromCacheLocked(ctx, key, cfg, res, HitMemory)
+			r.mu.Unlock()
+			r.emitCached(j)
+			return j, nil
+		}
+	}
+	r.mu.Unlock()
+
+	// Disk probe happens outside the lock: it is file IO. A concurrent
+	// identical submission can slip past and enqueue a real run; that
+	// duplicates work at worst, never corrupts state.
+	if r.disk != nil && !r.opts.DisableCache {
+		if res, ok := r.disk.get(key); ok {
+			r.mu.Lock()
+			if r.closed {
+				r.mu.Unlock()
+				return nil, ErrClosed
+			}
+			r.mem.put(key, res)
+			j := r.completeFromCacheLocked(ctx, key, cfg, res, HitDisk)
+			r.mu.Unlock()
+			r.emitCached(j)
+			return j, nil
+		}
+	}
+
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if !r.opts.DisableCache {
+		if j, ok := r.inflight[key]; ok { // raced with another submitter
+			r.met.coalesced.Add(1)
+			r.mu.Unlock()
+			return j, nil
+		}
+		if res, ok := r.mem.get(key); ok { // raced with a finishing identical job
+			j := r.completeFromCacheLocked(ctx, key, cfg, res, HitMemory)
+			r.mu.Unlock()
+			r.emitCached(j)
+			return j, nil
+		}
+	}
+	j := r.newJobLocked(ctx, key, cfg)
+	j.state = StateQueued
+	if !r.opts.DisableCache {
+		r.inflight[key] = j
+	}
+	r.pending = append(r.pending, j)
+	r.met.queued.Add(1)
+	r.met.misses.Add(1)
+	r.cond.Signal()
+	r.mu.Unlock()
+	r.emit(Event{Kind: EventQueued, JobID: j.id, Key: key, Config: cfg})
+	return j, nil
+}
+
+// Job returns a job by ID while it is queued, running, or among the most
+// recently finished.
+func (r *Runner) Job(id string) (*Job, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	j, ok := r.jobs[id]
+	return j, ok
+}
+
+// Close stops accepting submissions and blocks until every queued and
+// running job has drained. Queued jobs whose context is already cancelled
+// finish immediately as failed; running simulations complete.
+func (r *Runner) Close() {
+	r.mu.Lock()
+	if !r.closed {
+		r.closed = true
+		r.cond.Broadcast()
+	}
+	r.mu.Unlock()
+	r.wg.Wait()
+}
+
+func (r *Runner) newJobLocked(ctx context.Context, key string, cfg system.Config) *Job {
+	r.seq++
+	j := &Job{
+		id:         fmt.Sprintf("job-%06d", r.seq),
+		key:        key,
+		cfg:        cfg,
+		ctx:        ctx,
+		done:       make(chan struct{}),
+		enqueuedAt: time.Now(),
+	}
+	r.jobs[j.id] = j
+	return j
+}
+
+// completeFromCacheLocked creates a job that is already done.
+func (r *Runner) completeFromCacheLocked(ctx context.Context, key string, cfg system.Config, res *system.Results, hit string) *Job {
+	j := r.newJobLocked(ctx, key, cfg)
+	j.state = StateDone
+	j.cacheHit = hit
+	j.result = res
+	j.finishedAt = j.enqueuedAt
+	close(j.done)
+	r.met.queued.Add(1)
+	r.met.completed.Add(1)
+	if hit == HitMemory {
+		r.met.hitsMemory.Add(1)
+	} else {
+		r.met.hitsDisk.Add(1)
+	}
+	r.retainLocked(j)
+	return j
+}
+
+func (r *Runner) emitCached(j *Job) {
+	r.emit(Event{Kind: EventQueued, JobID: j.id, Key: j.key, Config: j.cfg, CacheHit: j.cacheHit})
+	r.emit(Event{Kind: EventFinished, JobID: j.id, Key: j.key, Config: j.cfg, CacheHit: j.cacheHit, Result: j.result})
+}
+
+// retainLocked records a finished job and evicts the oldest beyond the
+// retention bound so the job table cannot grow without limit.
+func (r *Runner) retainLocked(j *Job) {
+	r.finished = append(r.finished, j.id)
+	for len(r.finished) > maxRetainedJobs {
+		delete(r.jobs, r.finished[0])
+		r.finished = r.finished[1:]
+	}
+}
+
+func (r *Runner) worker() {
+	defer r.wg.Done()
+	for {
+		r.mu.Lock()
+		for len(r.pending) == 0 && !r.closed {
+			r.cond.Wait()
+		}
+		if len(r.pending) == 0 {
+			r.mu.Unlock()
+			return // closed and drained
+		}
+		j := r.pending[0]
+		r.pending = r.pending[1:]
+		r.mu.Unlock()
+		r.process(j)
+	}
+}
+
+// process runs one queued job to completion (or failure).
+func (r *Runner) process(j *Job) {
+	if err := j.ctx.Err(); err != nil {
+		r.finish(j, nil, fmt.Errorf("runner: job %s cancelled before start: %w", j.id, err), 0)
+		return
+	}
+	start := time.Now()
+	j.mu.Lock()
+	j.state = StateRunning
+	j.startedAt = start
+	j.mu.Unlock()
+	r.met.started.Add(1)
+	r.met.inFlight.Add(1)
+	defer r.met.inFlight.Add(-1)
+	r.emit(Event{Kind: EventStarted, JobID: j.id, Key: j.key, Config: j.cfg})
+
+	maxAttempts := 1 + r.opts.Retries
+	if maxAttempts < 1 {
+		maxAttempts = 1
+	}
+	var res *system.Results
+	var err error
+	for attempt := 1; attempt <= maxAttempts; attempt++ {
+		j.mu.Lock()
+		j.attempts = attempt
+		j.mu.Unlock()
+		res, err = r.runOnce(j)
+		if err == nil || !IsTransient(err) || j.ctx.Err() != nil || attempt == maxAttempts {
+			break
+		}
+		r.met.retries.Add(1)
+	}
+	dur := time.Since(start)
+
+	if err == nil {
+		r.met.recordLatency(dur)
+		if !r.opts.DisableCache {
+			if r.disk != nil {
+				if derr := r.disk.put(j.key, j.cfg, res); derr != nil {
+					r.met.diskErrors.Add(1)
+				}
+			}
+			r.mu.Lock()
+			r.mem.put(j.key, res)
+			r.mu.Unlock()
+		}
+	}
+	r.finish(j, res, err, dur)
+}
+
+// runOnce executes one simulation attempt with panic recovery, bounded by
+// the job timeout and the submitter's context. The simulation itself is
+// not preemptible: on timeout or cancellation the attempt's goroutine is
+// abandoned (it finishes in the background and its result is discarded).
+func (r *Runner) runOnce(j *Job) (*system.Results, error) {
+	type outcome struct {
+		res *system.Results
+		err error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		defer func() {
+			if p := recover(); p != nil {
+				ch <- outcome{nil, Transient(fmt.Errorf("runner: simulation panicked: %v", p))}
+			}
+		}()
+		res, err := r.execute(j.cfg)
+		ch <- outcome{res, err}
+	}()
+
+	var timeoutC <-chan time.Time
+	if r.opts.Timeout > 0 {
+		t := time.NewTimer(r.opts.Timeout)
+		defer t.Stop()
+		timeoutC = t.C
+	}
+	select {
+	case o := <-ch:
+		return o.res, o.err
+	case <-timeoutC:
+		return nil, fmt.Errorf("runner: job %s exceeded timeout %v", j.id, r.opts.Timeout)
+	case <-j.ctx.Done():
+		return nil, j.ctx.Err()
+	}
+}
+
+// finish records the job's outcome, publishes it to waiters, and emits the
+// terminal event.
+func (r *Runner) finish(j *Job, res *system.Results, err error, dur time.Duration) {
+	j.mu.Lock()
+	j.finishedAt = time.Now()
+	j.result = res
+	j.err = err
+	if err != nil {
+		j.state = StateFailed
+	} else {
+		j.state = StateDone
+	}
+	attempt := j.attempts
+	j.mu.Unlock()
+	close(j.done)
+
+	r.mu.Lock()
+	if r.inflight[j.key] == j {
+		delete(r.inflight, j.key)
+	}
+	r.retainLocked(j)
+	r.mu.Unlock()
+
+	if err != nil {
+		r.met.failed.Add(1)
+		r.emit(Event{Kind: EventFailed, JobID: j.id, Key: j.key, Config: j.cfg, Attempt: attempt, Duration: dur, Err: err})
+	} else {
+		r.met.completed.Add(1)
+		r.emit(Event{Kind: EventFinished, JobID: j.id, Key: j.key, Config: j.cfg, Attempt: attempt, Duration: dur, Result: res})
+	}
+}

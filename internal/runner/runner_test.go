@@ -1,0 +1,404 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/system"
+)
+
+// tinyConfig is a real simulation small enough to run in a few
+// milliseconds; distinct seeds give distinct cache keys.
+func tinyConfig(seed int64) system.Config {
+	cfg := system.QuickConfig("blackscholes")
+	cfg.Cores = 4
+	cfg.AccessesPerCore = 1500
+	cfg.WorkloadScale = 0.25
+	cfg.Seed = seed
+	return cfg
+}
+
+// fakeResults fabricates a result without simulating; fakes encode the
+// seed in Cycles so tests can tell results apart.
+func fakeResults(cfg system.Config) *system.Results {
+	return &system.Results{Config: cfg, Cycles: uint64(cfg.Seed)}
+}
+
+func TestKeyStableAndSensitive(t *testing.T) {
+	a, err := Key(tinyConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Key(tinyConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("same config, different keys: %s vs %s", a, b)
+	}
+	c, _ := Key(tinyConfig(2))
+	if a == c {
+		t.Fatal("different seeds produced the same key")
+	}
+	cfg := tinyConfig(1)
+	cfg.Coverage = 0.125
+	d, _ := Key(cfg)
+	if a == d {
+		t.Fatal("different coverage produced the same key")
+	}
+}
+
+func TestRunRealSimulationAndMemoryHit(t *testing.T) {
+	r := New(Options{Workers: 1})
+	defer r.Close()
+	res, err := r.Run(context.Background(), tinyConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles == 0 {
+		t.Fatal("real simulation reported zero cycles")
+	}
+	again, err := r.Run(context.Background(), tinyConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != res {
+		t.Fatal("second run did not return the memoized result")
+	}
+	m := r.Metrics()
+	if m.CacheHitsMemory != 1 || m.CacheMisses != 1 {
+		t.Fatalf("metrics = %+v, want 1 memory hit and 1 miss", m)
+	}
+	if m.RunLatencyP50 <= 0 || m.RunLatencyP95 < m.RunLatencyP50 {
+		t.Fatalf("implausible latency percentiles: p50=%v p95=%v", m.RunLatencyP50, m.RunLatencyP95)
+	}
+}
+
+func TestDiskCachePersistsAcrossRunners(t *testing.T) {
+	dir := t.TempDir()
+	var executed atomic.Int64
+
+	r1 := New(Options{Workers: 1, CacheDir: dir})
+	r1.execute = func(cfg system.Config) (*system.Results, error) {
+		executed.Add(1)
+		return fakeResults(cfg), nil
+	}
+	res, err := r1.Run(context.Background(), tinyConfig(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1.Close()
+	if executed.Load() != 1 {
+		t.Fatalf("executed %d times, want 1", executed.Load())
+	}
+
+	// A fresh runner (fresh memory cache, simulating a process restart)
+	// must serve the same config from disk without executing.
+	r2 := New(Options{Workers: 1, CacheDir: dir})
+	defer r2.Close()
+	r2.execute = func(cfg system.Config) (*system.Results, error) {
+		t.Error("disk-cached config was re-executed")
+		return fakeResults(cfg), nil
+	}
+	res2, err := r2.Run(context.Background(), tinyConfig(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Cycles != res.Cycles {
+		t.Fatalf("disk result cycles = %d, want %d", res2.Cycles, res.Cycles)
+	}
+	if m := r2.Metrics(); m.CacheHitsDisk != 1 {
+		t.Fatalf("disk hits = %d, want 1", m.CacheHitsDisk)
+	}
+}
+
+func TestCorruptedCacheFileIsMiss(t *testing.T) {
+	dir := t.TempDir()
+	cfg := tinyConfig(3)
+	key, err := Key(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, key+".json"), []byte("{not json!"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var executed atomic.Int64
+	r := New(Options{Workers: 1, CacheDir: dir})
+	r.execute = func(c system.Config) (*system.Results, error) {
+		executed.Add(1)
+		return fakeResults(c), nil
+	}
+	if _, err := r.Run(context.Background(), cfg); err != nil {
+		t.Fatalf("corrupted cache entry crashed the run: %v", err)
+	}
+	m := r.Metrics()
+	if executed.Load() != 1 || m.CacheMisses != 1 || m.CacheHitsDisk != 0 {
+		t.Fatalf("corrupt entry not treated as a miss: executed=%d metrics=%+v", executed.Load(), m)
+	}
+	r.Close()
+
+	// The successful run must have overwritten the corrupt file: a fresh
+	// runner now hits disk.
+	r2 := New(Options{Workers: 1, CacheDir: dir})
+	defer r2.Close()
+	r2.execute = func(c system.Config) (*system.Results, error) {
+		t.Error("repaired cache entry was re-executed")
+		return fakeResults(c), nil
+	}
+	if _, err := r2.Run(context.Background(), cfg); err != nil {
+		t.Fatal(err)
+	}
+	if m := r2.Metrics(); m.CacheHitsDisk != 1 {
+		t.Fatalf("repaired entry not hit: %+v", m)
+	}
+}
+
+func TestCancelledContextStopsSweepEarly(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	var executed atomic.Int64
+	r := New(Options{Workers: 1})
+	defer r.Close()
+	r.execute = func(cfg system.Config) (*system.Results, error) {
+		if executed.Add(1) == 2 {
+			cancel() // cancel mid-sweep, while job 2 is in flight
+		}
+		time.Sleep(5 * time.Millisecond)
+		return fakeResults(cfg), nil
+	}
+
+	const total = 12
+	cfgs := make([]system.Config, total)
+	for i := range cfgs {
+		cfgs[i] = tinyConfig(int64(i + 1))
+	}
+	err := r.RunAll(ctx, cfgs)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunAll error = %v, want context.Canceled", err)
+	}
+	if n := executed.Load(); n >= total {
+		t.Fatalf("cancellation did not stop the sweep: %d/%d configs simulated", n, total)
+	}
+}
+
+func TestRunAllStopsOnFirstError(t *testing.T) {
+	var executed atomic.Int64
+	r := New(Options{Workers: 1})
+	defer r.Close()
+	boom := errors.New("deterministic simulation failure")
+	r.execute = func(cfg system.Config) (*system.Results, error) {
+		if cfg.Seed == 1 {
+			return nil, boom
+		}
+		executed.Add(1)
+		time.Sleep(5 * time.Millisecond)
+		return fakeResults(cfg), nil
+	}
+
+	const total = 10
+	cfgs := make([]system.Config, total)
+	for i := range cfgs {
+		cfgs[i] = tinyConfig(int64(i + 1))
+	}
+	err := r.RunAll(context.Background(), cfgs)
+	if !errors.Is(err, boom) {
+		t.Fatalf("RunAll error = %v, want the simulation failure", err)
+	}
+	// The failing job is first in a one-worker queue; at most the next
+	// job may have slipped in before the cancellation landed.
+	if n := executed.Load(); n > 1 {
+		t.Fatalf("%d healthy configs simulated after the failure, want <= 1", n)
+	}
+}
+
+func TestTransientFailuresRetryThenSucceed(t *testing.T) {
+	var calls atomic.Int64
+	r := New(Options{Workers: 1, Retries: 2})
+	defer r.Close()
+	r.execute = func(cfg system.Config) (*system.Results, error) {
+		if calls.Add(1) <= 2 {
+			return nil, Transient(errors.New("flaky backend"))
+		}
+		return fakeResults(cfg), nil
+	}
+	j, err := r.Submit(context.Background(), tinyConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j.Wait(context.Background()); err != nil {
+		t.Fatalf("job failed despite retry budget: %v", err)
+	}
+	if got := j.Status().Attempts; got != 3 {
+		t.Fatalf("attempts = %d, want 3", got)
+	}
+	if m := r.Metrics(); m.Retries != 2 {
+		t.Fatalf("retries = %d, want 2", m.Retries)
+	}
+}
+
+func TestPanicIsRecoveredAndRetried(t *testing.T) {
+	var calls atomic.Int64
+	r := New(Options{Workers: 1, Retries: 1})
+	defer r.Close()
+	r.execute = func(cfg system.Config) (*system.Results, error) {
+		if calls.Add(1) == 1 {
+			panic("simulated protocol bug")
+		}
+		return fakeResults(cfg), nil
+	}
+	if _, err := r.Run(context.Background(), tinyConfig(1)); err != nil {
+		t.Fatalf("panic was not recovered and retried: %v", err)
+	}
+
+	// Without retry budget the panic surfaces as an error, not a crash.
+	r2 := New(Options{Workers: 1})
+	defer r2.Close()
+	r2.execute = func(cfg system.Config) (*system.Results, error) {
+		panic("always broken")
+	}
+	_, err := r2.Run(context.Background(), tinyConfig(2))
+	if err == nil || !strings.Contains(err.Error(), "panic") {
+		t.Fatalf("error = %v, want a recovered panic", err)
+	}
+	if !IsTransient(err) {
+		t.Fatal("recovered panic should classify as transient")
+	}
+}
+
+func TestDeterministicErrorsAreNotRetried(t *testing.T) {
+	var calls atomic.Int64
+	r := New(Options{Workers: 1, Retries: 5})
+	defer r.Close()
+	r.execute = func(cfg system.Config) (*system.Results, error) {
+		calls.Add(1)
+		return nil, errors.New("deadlock at cycle 100")
+	}
+	if _, err := r.Run(context.Background(), tinyConfig(1)); err == nil {
+		t.Fatal("expected failure")
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("deterministic failure executed %d times, want 1", calls.Load())
+	}
+}
+
+func TestTimeoutAbandonsRun(t *testing.T) {
+	r := New(Options{Workers: 1, Timeout: 10 * time.Millisecond})
+	defer r.Close()
+	release := make(chan struct{})
+	r.execute = func(cfg system.Config) (*system.Results, error) {
+		<-release
+		return fakeResults(cfg), nil
+	}
+	defer close(release)
+	_, err := r.Run(context.Background(), tinyConfig(1))
+	if err == nil || !strings.Contains(err.Error(), "timeout") {
+		t.Fatalf("error = %v, want a timeout", err)
+	}
+}
+
+func TestConcurrentIdenticalSubmissionsCoalesce(t *testing.T) {
+	var executed atomic.Int64
+	r := New(Options{Workers: 4})
+	defer r.Close()
+	r.execute = func(cfg system.Config) (*system.Results, error) {
+		executed.Add(1)
+		time.Sleep(20 * time.Millisecond)
+		return fakeResults(cfg), nil
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := r.Run(context.Background(), tinyConfig(1)); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	if executed.Load() != 1 {
+		t.Fatalf("identical config executed %d times, want 1", executed.Load())
+	}
+	if m := r.Metrics(); m.JobsCoalesced == 0 {
+		t.Fatalf("coalesced counter = 0, want > 0: %+v", m)
+	}
+}
+
+func TestCloseDrainsQueuedJobs(t *testing.T) {
+	var executed atomic.Int64
+	r := New(Options{Workers: 1})
+	r.execute = func(cfg system.Config) (*system.Results, error) {
+		executed.Add(1)
+		time.Sleep(2 * time.Millisecond)
+		return fakeResults(cfg), nil
+	}
+	var jobs []*Job
+	for i := 0; i < 6; i++ {
+		j, err := r.Submit(context.Background(), tinyConfig(int64(i+1)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs = append(jobs, j)
+	}
+	r.Close()
+	if executed.Load() != 6 {
+		t.Fatalf("Close drained %d jobs, want 6", executed.Load())
+	}
+	for _, j := range jobs {
+		if s := j.Status(); s.State != StateDone {
+			t.Fatalf("job %s state = %s after Close, want done", s.ID, s.State)
+		}
+	}
+	if _, err := r.Submit(context.Background(), tinyConfig(99)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Submit after Close = %v, want ErrClosed", err)
+	}
+}
+
+func TestJobLookupAndEvents(t *testing.T) {
+	var mu sync.Mutex
+	var kinds []EventKind
+	r := New(Options{Workers: 1, Events: func(e Event) {
+		mu.Lock()
+		kinds = append(kinds, e.Kind)
+		mu.Unlock()
+	}})
+	defer r.Close()
+	r.execute = func(cfg system.Config) (*system.Results, error) {
+		return fakeResults(cfg), nil
+	}
+	j, err := r.Submit(context.Background(), tinyConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := r.Job(j.ID())
+	if !ok || got != j {
+		t.Fatalf("Job(%q) lookup failed", j.ID())
+	}
+	s := j.Status()
+	if s.State != StateDone || s.Workload != "blackscholes" || s.Cycles != 1 {
+		t.Fatalf("unexpected status: %+v", s)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	want := []EventKind{EventQueued, EventStarted, EventFinished}
+	if len(kinds) != len(want) {
+		t.Fatalf("events = %v, want %v", kinds, want)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("events = %v, want %v", kinds, want)
+		}
+	}
+}

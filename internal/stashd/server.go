@@ -1,0 +1,196 @@
+// Package stashd implements the HTTP simulation service served by
+// cmd/stashd. It is a thin protocol layer over internal/runner: requests
+// resolve to system.Config jobs, results stream back as JSON, and the
+// runner's counters render as a text metrics page. Keeping the handlers
+// here (instead of in the command) makes the whole service testable with
+// net/http/httptest.
+package stashd
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/runner"
+)
+
+// Server routes the run-service API:
+//
+//	POST /run        one simulation, JSON in / JSON out
+//	POST /sweep      a workload x dirkind x coverage batch, streamed as
+//	                 chunked JSON lines (application/x-ndjson)
+//	GET  /jobs/{id}  job status snapshot
+//	GET  /metrics    text-format aggregate counters
+//	GET  /healthz    liveness probe
+type Server struct {
+	runner *runner.Runner
+	mux    *http.ServeMux
+	start  time.Time
+}
+
+// NewServer wraps a runner in the HTTP API. The caller keeps ownership of
+// the runner and closes it after the HTTP server has shut down.
+func NewServer(r *runner.Runner) *Server {
+	s := &Server{runner: r, mux: http.NewServeMux(), start: time.Now()}
+	s.mux.HandleFunc("POST /run", s.handleRun)
+	s.mux.HandleFunc("POST /sweep", s.handleSweep)
+	s.mux.HandleFunc("GET /jobs/{id}", s.handleJob)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, req *http.Request) {
+	s.mux.ServeHTTP(w, req)
+}
+
+// httpError writes a JSON error body with the given status.
+func httpError(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, req *http.Request) {
+	var rr RunRequest
+	if err := json.NewDecoder(req.Body).Decode(&rr); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("stashd: bad request body: %w", err))
+		return
+	}
+	cfg, err := rr.Config()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	job, err := s.runner.Submit(req.Context(), cfg)
+	if err != nil {
+		httpError(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	res, err := job.Wait(req.Context())
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	st := job.Status()
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(RunResponse{
+		JobID:      st.ID,
+		CacheHit:   st.CacheHit,
+		DurationMS: st.DurationMS,
+		Result:     res,
+	})
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, req *http.Request) {
+	var sr SweepRequest
+	if err := json.NewDecoder(req.Body).Decode(&sr); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("stashd: bad request body: %w", err))
+		return
+	}
+	cfgs, err := sr.Configs()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+
+	// Submit everything up front (the runner queues and deduplicates),
+	// then stream one line per job in completion order. A client
+	// disconnect cancels req.Context(), which aborts still-queued jobs.
+	jobs := make([]*runner.Job, 0, len(cfgs))
+	for _, cfg := range cfgs {
+		job, err := s.runner.Submit(req.Context(), cfg)
+		if err != nil {
+			httpError(w, http.StatusServiceUnavailable, err)
+			return
+		}
+		jobs = append(jobs, job)
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	start := time.Now()
+
+	lines := make(chan SweepLine)
+	for _, job := range jobs {
+		go func(job *runner.Job) {
+			res, err := job.Wait(req.Context())
+			st := job.Status()
+			line := SweepLine{
+				Type:       "job",
+				JobID:      st.ID,
+				Workload:   st.Workload,
+				DirKind:    st.DirKind,
+				Coverage:   st.Coverage,
+				CacheHit:   st.CacheHit,
+				DurationMS: st.DurationMS,
+			}
+			if err != nil {
+				line.Error = err.Error()
+			} else if res != nil {
+				line.Cycles = res.Cycles
+				line.AccessesPerKCycle = res.AccessesPerKCycle
+			}
+			lines <- line
+		}(job)
+	}
+
+	var done SweepLine
+	done.Type = "done"
+	for range jobs {
+		line := <-lines
+		done.Jobs++
+		if line.CacheHit != "" {
+			done.CacheHits++
+		}
+		if line.Error != "" {
+			done.Failures++
+		}
+		if err := enc.Encode(line); err != nil {
+			return // client went away; waiter goroutines already drained
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	done.ElapsedMS = float64(time.Since(start)) / float64(time.Millisecond)
+	enc.Encode(done)
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, req *http.Request) {
+	id := req.PathValue("id")
+	job, ok := s.runner.Job(id)
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("stashd: unknown job %q", id))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(job.Status())
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	m := s.runner.Metrics()
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	fmt.Fprintf(w, "stashd_jobs_queued_total %d\n", m.JobsQueued)
+	fmt.Fprintf(w, "stashd_jobs_started_total %d\n", m.JobsStarted)
+	fmt.Fprintf(w, "stashd_jobs_completed_total %d\n", m.JobsCompleted)
+	fmt.Fprintf(w, "stashd_jobs_failed_total %d\n", m.JobsFailed)
+	fmt.Fprintf(w, "stashd_jobs_coalesced_total %d\n", m.JobsCoalesced)
+	fmt.Fprintf(w, "stashd_retries_total %d\n", m.Retries)
+	fmt.Fprintf(w, "stashd_cache_hits_total %d\n", m.CacheHits())
+	fmt.Fprintf(w, "stashd_cache_hits_memory_total %d\n", m.CacheHitsMemory)
+	fmt.Fprintf(w, "stashd_cache_hits_disk_total %d\n", m.CacheHitsDisk)
+	fmt.Fprintf(w, "stashd_cache_misses_total %d\n", m.CacheMisses)
+	fmt.Fprintf(w, "stashd_cache_write_errors_total %d\n", m.CacheWriteErrors)
+	fmt.Fprintf(w, "stashd_inflight_workers %d\n", m.InFlight)
+	fmt.Fprintf(w, "stashd_run_latency_p50_ms %.3f\n", ms(m.RunLatencyP50))
+	fmt.Fprintf(w, "stashd_run_latency_p95_ms %.3f\n", ms(m.RunLatencyP95))
+	fmt.Fprintf(w, "stashd_uptime_seconds %.0f\n", time.Since(s.start).Seconds())
+}

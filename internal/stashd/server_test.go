@@ -1,0 +1,308 @@
+package stashd
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/runner"
+)
+
+// tinyBase is a request base small enough that one simulation takes a few
+// milliseconds.
+func tinyBase() RunRequest {
+	return RunRequest{
+		Quick:           true,
+		Cores:           4,
+		AccessesPerCore: 1500,
+		WorkloadScale:   0.25,
+	}
+}
+
+func tinySweep() SweepRequest {
+	return SweepRequest{
+		Base:      tinyBase(),
+		Workloads: []string{"blackscholes"},
+		DirKinds:  []string{"stash"},
+		Coverages: []float64{1, 0.5},
+	}
+}
+
+func newTestServer(t *testing.T, cacheDir string) (*httptest.Server, *runner.Runner) {
+	t.Helper()
+	r := runner.New(runner.Options{Workers: 2, CacheDir: cacheDir})
+	ts := httptest.NewServer(NewServer(r))
+	t.Cleanup(func() {
+		ts.Close()
+		r.Close()
+	})
+	return ts, r
+}
+
+func postJSON(t *testing.T, url string, body any) *http.Response {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// readSweep decodes a /sweep ndjson stream into job lines plus the final
+// done line.
+func readSweep(t *testing.T, resp *http.Response) ([]SweepLine, SweepLine) {
+	t.Helper()
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sweep status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("sweep content-type = %q", ct)
+	}
+	var jobs []SweepLine
+	var done SweepLine
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var line SweepLine
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			t.Fatalf("bad sweep line %q: %v", sc.Text(), err)
+		}
+		switch line.Type {
+		case "job":
+			jobs = append(jobs, line)
+		case "done":
+			done = line
+		default:
+			t.Fatalf("unknown line type %q", line.Type)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if done.Type != "done" {
+		t.Fatal("stream ended without a done line")
+	}
+	return jobs, done
+}
+
+func metricValue(t *testing.T, ts *httptest.Server, name string) float64 {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var v float64
+		if _, err := fmt.Sscanf(sc.Text(), name+" %f", &v); err == nil {
+			return v
+		}
+	}
+	t.Fatalf("metric %s not found", name)
+	return 0
+}
+
+func TestRunEndpointAndJobStatus(t *testing.T) {
+	ts, _ := newTestServer(t, "")
+
+	req := tinyBase()
+	req.Workload = "blackscholes"
+	req.DirKind = "stash"
+	req.Coverage = 0.5
+	resp := postJSON(t, ts.URL+"/run", req)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("run status = %d", resp.StatusCode)
+	}
+	var rr RunResponse
+	if err := json.NewDecoder(resp.Body).Decode(&rr); err != nil {
+		t.Fatal(err)
+	}
+	if rr.Result == nil || rr.Result.Cycles == 0 {
+		t.Fatalf("run returned no result: %+v", rr)
+	}
+	if rr.JobID == "" {
+		t.Fatal("run returned no job id")
+	}
+
+	st, err := http.Get(ts.URL + "/jobs/" + rr.JobID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Body.Close()
+	if st.StatusCode != http.StatusOK {
+		t.Fatalf("jobs status = %d", st.StatusCode)
+	}
+	var js runner.JobStatus
+	if err := json.NewDecoder(st.Body).Decode(&js); err != nil {
+		t.Fatal(err)
+	}
+	if js.State != runner.StateDone || js.Workload != "blackscholes" {
+		t.Fatalf("job status = %+v", js)
+	}
+
+	if missing, err := http.Get(ts.URL + "/jobs/job-999999"); err != nil {
+		t.Fatal(err)
+	} else {
+		missing.Body.Close()
+		if missing.StatusCode != http.StatusNotFound {
+			t.Fatalf("missing job status = %d, want 404", missing.StatusCode)
+		}
+	}
+}
+
+func TestBadRequestsRejected(t *testing.T) {
+	ts, _ := newTestServer(t, "")
+	for name, body := range map[string]any{
+		"no workload":      RunRequest{Quick: true},
+		"unknown dir kind": RunRequest{Workload: "blackscholes", DirKind: "btree"},
+		"bad cores":        RunRequest{Workload: "blackscholes", Cores: 7},
+	} {
+		resp := postJSON(t, ts.URL+"/run", body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status = %d, want 400", name, resp.StatusCode)
+		}
+	}
+
+	huge := SweepRequest{Base: tinyBase(), Workloads: []string{"blackscholes"},
+		DirKinds: []string{"stash"}, Coverages: make([]float64, 5000)}
+	for i := range huge.Coverages {
+		huge.Coverages[i] = float64(i + 1)
+	}
+	resp := postJSON(t, ts.URL+"/sweep", huge)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("oversized sweep status = %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestConcurrentSweepsShareDiskCache is the acceptance scenario: two
+// concurrent identical sweeps against one server simulate each config at
+// most once (coalescing or cache hits cover the overlap), and a third
+// identical sweep is served entirely from cache, which /metrics reports.
+func TestConcurrentSweepsShareDiskCache(t *testing.T) {
+	dir := t.TempDir()
+	ts, _ := newTestServer(t, dir)
+	sweep := tinySweep()
+
+	var wg sync.WaitGroup
+	lines := make([][]SweepLine, 2)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp := postJSON(t, ts.URL+"/sweep", sweep)
+			jobs, done := readSweep(t, resp)
+			if done.Failures != 0 {
+				t.Errorf("sweep %d: %d failures", i, done.Failures)
+			}
+			if len(jobs) != 2 {
+				t.Errorf("sweep %d: %d job lines, want 2", i, len(jobs))
+			}
+			lines[i] = jobs
+		}(i)
+	}
+	wg.Wait()
+
+	// The two sweeps raced over the same two configs: the runner must
+	// have simulated each config exactly once.
+	if started := metricValue(t, ts, "stashd_jobs_started_total"); started != 2 {
+		t.Fatalf("concurrent identical sweeps simulated %v configs, want 2", started)
+	}
+
+	// A third identical sweep must come entirely from cache...
+	resp := postJSON(t, ts.URL+"/sweep", sweep)
+	jobs, done := readSweep(t, resp)
+	if done.CacheHits != len(jobs) {
+		t.Fatalf("repeat sweep cache hits = %d, want %d", done.CacheHits, len(jobs))
+	}
+	for _, l := range jobs {
+		if l.CacheHit == "" || l.Cycles == 0 {
+			t.Fatalf("repeat sweep line not from cache: %+v", l)
+		}
+	}
+	// ... and /metrics must report it.
+	if hits := metricValue(t, ts, "stashd_cache_hits_total"); hits < 2 {
+		t.Fatalf("stashd_cache_hits_total = %v, want >= 2", hits)
+	}
+	if started := metricValue(t, ts, "stashd_jobs_started_total"); started != 2 {
+		t.Fatalf("repeat sweep re-simulated: started = %v, want 2", started)
+	}
+
+	// A brand-new server process over the same cache dir serves the sweep
+	// from disk without simulating anything.
+	ts2, _ := newTestServer(t, dir)
+	resp2 := postJSON(t, ts2.URL+"/sweep", sweep)
+	_, done2 := readSweep(t, resp2)
+	if done2.CacheHits != 2 || done2.Failures != 0 {
+		t.Fatalf("restarted server done line = %+v, want 2 cache hits", done2)
+	}
+	if disk := metricValue(t, ts2, "stashd_cache_hits_disk_total"); disk != 2 {
+		t.Fatalf("restarted server disk hits = %v, want 2", disk)
+	}
+}
+
+func TestSweepDefaultsAndResultsConsistency(t *testing.T) {
+	ts, _ := newTestServer(t, "")
+	// Explicit single-workload sweep over the default kind/coverage axes
+	// would be 12 runs; narrow the axes but leave kinds to the default.
+	sweep := SweepRequest{
+		Base:      tinyBase(),
+		Workloads: []string{"blackscholes"},
+		Coverages: []float64{0.5},
+	}
+	resp := postJSON(t, ts.URL+"/sweep", sweep)
+	jobs, done := readSweep(t, resp)
+	if len(jobs) != 2 || done.Jobs != 2 { // sparse + stash by default
+		t.Fatalf("default dir kinds: %d lines, done=%+v, want 2", len(jobs), done)
+	}
+	kinds := map[string]bool{}
+	for _, l := range jobs {
+		kinds[l.DirKind] = true
+		if l.Error != "" {
+			t.Fatalf("job failed: %+v", l)
+		}
+		if l.Cycles == 0 || l.AccessesPerKCycle <= 0 {
+			t.Fatalf("job line missing results: %+v", l)
+		}
+	}
+	if !kinds["sparse"] || !kinds["stash"] {
+		t.Fatalf("default sweep kinds = %v, want sparse and stash", kinds)
+	}
+}
+
+func TestMetricsEndpointShape(t *testing.T) {
+	ts, _ := newTestServer(t, "")
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("metrics content-type = %q", ct)
+	}
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	for _, want := range []string{
+		"stashd_jobs_queued_total", "stashd_jobs_completed_total",
+		"stashd_cache_hits_total", "stashd_cache_misses_total",
+		"stashd_run_latency_p50_ms", "stashd_run_latency_p95_ms",
+		"stashd_inflight_workers",
+	} {
+		if !strings.Contains(buf.String(), want+" ") {
+			t.Errorf("metrics page missing %s:\n%s", want, buf.String())
+		}
+	}
+}

@@ -33,6 +33,10 @@
 package stashsim
 
 import (
+	"context"
+	"sync"
+
+	"repro/internal/runner"
 	"repro/internal/system"
 	"repro/internal/trace"
 	"repro/internal/workloads"
@@ -70,10 +74,28 @@ func DefaultConfig(workload string) Config { return system.DefaultConfig(workloa
 // faster; the benchmark harness uses it.
 func QuickConfig(workload string) Config { return system.QuickConfig(workload) }
 
+// facade is the process-wide execution pool behind Run: every entry point
+// — this facade, the experiment harness, cmd/stashsim, cmd/stashd —
+// executes simulations through internal/runner. The facade's instance
+// disables caching so Run keeps its simulate-every-call semantics, and
+// bounds concurrent simulations at GOMAXPROCS.
+var facade struct {
+	once sync.Once
+	r    *runner.Runner
+}
+
+func facadeRunner() *runner.Runner {
+	facade.once.Do(func() {
+		facade.r = runner.New(runner.Options{DisableCache: true})
+	})
+	return facade.r
+}
+
 // Run builds the machine described by cfg, drives it to completion, and
 // returns the collected results. It fails on configuration errors,
 // protocol deadlock, value-oracle violations, or invariant-audit failures.
-func Run(cfg Config) (*Results, error) { return system.Run(cfg) }
+// Concurrent calls share a GOMAXPROCS-bounded worker pool.
+func Run(cfg Config) (*Results, error) { return facadeRunner().Run(context.Background(), cfg) }
 
 // Workloads returns the names of the built-in workload suite.
 func Workloads() []string { return workloads.Names() }
