@@ -1,12 +1,13 @@
 # Repo verification targets. `make ci` is what the verify step runs: it
-# vets everything and runs the full suite under the race detector, which
-# exercises the concurrent paths of internal/runner and cmd/stashd.
+# vets everything, runs the full suite under the race detector (which
+# exercises the concurrent paths of internal/runner and cmd/stashd), and
+# runs the engine benchmarks once as a compile-and-smoke check.
 
 GO ?= go
 
-.PHONY: ci build test race vet bench
+.PHONY: ci build test race vet bench bench-engine bench-smoke
 
-ci: vet race
+ci: vet race bench-smoke
 
 build:
 	$(GO) build ./...
@@ -20,5 +21,15 @@ test:
 race:
 	$(GO) test -race ./...
 
-bench:
+# bench records the engine scheduler benchmarks into BENCH_engine.json
+# (the repo's perf trajectory), then runs the figure/table suite.
+bench: bench-engine
 	$(GO) test -bench=. -benchmem
+
+bench-engine:
+	$(GO) test -run '^$$' -bench BenchmarkEngine -benchmem ./internal/sim | $(GO) run ./cmd/benchjson -o BENCH_engine.json
+
+# bench-smoke executes every engine benchmark exactly once so ci catches
+# benchmark bit-rot without paying full measurement time.
+bench-smoke:
+	$(GO) test -run '^$$' -bench BenchmarkEngine -benchtime=1x -benchmem ./internal/sim

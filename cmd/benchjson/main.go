@@ -1,0 +1,51 @@
+// Command benchjson converts `go test -bench` text output (on stdin) into
+// a structured JSON report. The raw text is teed through to stdout so the
+// benchmark run stays visible in the terminal:
+//
+//	go test -bench BenchmarkEngine -benchmem ./internal/sim | benchjson -o BENCH_engine.json
+//
+// `make bench` uses it to record the engine's performance trajectory.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro/internal/benchfmt"
+)
+
+func main() {
+	out := flag.String("o", "", "output JSON file (default stdout only)")
+	flag.Parse()
+
+	var buf bytes.Buffer
+	if _, err := io.Copy(io.MultiWriter(&buf, os.Stdout), os.Stdin); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	rep, err := benchfmt.Parse(&buf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	rep.GeneratedAt = time.Now().UTC().Truncate(time.Second)
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	b = append(b, '\n')
+	if *out == "" {
+		os.Stdout.Write(b)
+		return
+	}
+	if err := os.WriteFile(*out, b, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

@@ -83,14 +83,22 @@ const (
 
 // Job is one submitted simulation. Identical configs submitted while a job
 // is queued or running share that job.
+//
+// A job's execution is deliberately detached from any single submitter's
+// context: each submitter registers as a waiter, and the job's execCtx is
+// cancelled only when every cancellable waiter's context has been
+// cancelled. One client disconnecting therefore cannot fail a coalesced
+// job another client is still waiting on.
 type Job struct {
-	id   string
-	key  string
-	cfg  system.Config
-	ctx  context.Context
-	done chan struct{}
+	id      string
+	key     string
+	cfg     system.Config
+	execCtx context.Context
+	cancel  context.CancelFunc
+	done    chan struct{}
 
 	mu         sync.Mutex
+	waiters    int
 	state      State
 	enqueuedAt time.Time
 	startedAt  time.Time
@@ -112,6 +120,40 @@ func (j *Job) Config() system.Config { return j.cfg }
 
 // Done returns a channel closed when the job finishes.
 func (j *Job) Done() <-chan struct{} { return j.done }
+
+// addWaiter registers one submitter's interest in j. When ctx can be
+// cancelled, a monitor goroutine drops the waiter on cancellation; a
+// context that can never be cancelled pins the job to completion.
+func (j *Job) addWaiter(ctx context.Context) {
+	j.mu.Lock()
+	if j.state == StateDone || j.state == StateFailed {
+		j.mu.Unlock()
+		return
+	}
+	j.waiters++
+	j.mu.Unlock()
+	if ctx.Done() == nil {
+		return
+	}
+	go func() {
+		select {
+		case <-ctx.Done():
+			j.dropWaiter()
+		case <-j.done:
+		}
+	}()
+}
+
+// dropWaiter removes one waiter; the last one out cancels the execution.
+func (j *Job) dropWaiter() {
+	j.mu.Lock()
+	j.waiters--
+	last := j.waiters <= 0
+	j.mu.Unlock()
+	if last && j.cancel != nil {
+		j.cancel()
+	}
+}
 
 // Wait blocks until the job finishes or ctx is cancelled. A cancelled wait
 // abandons only this waiter; the job itself keeps running for others.
@@ -333,10 +375,11 @@ func (r *Runner) Submit(ctx context.Context, cfg system.Config) (*Job, error) {
 		if j, ok := r.inflight[key]; ok {
 			r.met.coalesced.Add(1)
 			r.mu.Unlock()
+			j.addWaiter(ctx)
 			return j, nil
 		}
 		if res, ok := r.mem.get(key); ok {
-			j := r.completeFromCacheLocked(ctx, key, cfg, res, HitMemory)
+			j := r.completeFromCacheLocked(key, cfg, res, HitMemory)
 			r.mu.Unlock()
 			r.emitCached(j)
 			return j, nil
@@ -355,7 +398,7 @@ func (r *Runner) Submit(ctx context.Context, cfg system.Config) (*Job, error) {
 				return nil, ErrClosed
 			}
 			r.mem.put(key, res)
-			j := r.completeFromCacheLocked(ctx, key, cfg, res, HitDisk)
+			j := r.completeFromCacheLocked(key, cfg, res, HitDisk)
 			r.mu.Unlock()
 			r.emitCached(j)
 			return j, nil
@@ -371,17 +414,19 @@ func (r *Runner) Submit(ctx context.Context, cfg system.Config) (*Job, error) {
 		if j, ok := r.inflight[key]; ok { // raced with another submitter
 			r.met.coalesced.Add(1)
 			r.mu.Unlock()
+			j.addWaiter(ctx)
 			return j, nil
 		}
 		if res, ok := r.mem.get(key); ok { // raced with a finishing identical job
-			j := r.completeFromCacheLocked(ctx, key, cfg, res, HitMemory)
+			j := r.completeFromCacheLocked(key, cfg, res, HitMemory)
 			r.mu.Unlock()
 			r.emitCached(j)
 			return j, nil
 		}
 	}
-	j := r.newJobLocked(ctx, key, cfg)
+	j := r.newJobLocked(key, cfg)
 	j.state = StateQueued
+	j.execCtx, j.cancel = context.WithCancel(context.Background())
 	if !r.opts.DisableCache {
 		r.inflight[key] = j
 	}
@@ -390,6 +435,7 @@ func (r *Runner) Submit(ctx context.Context, cfg system.Config) (*Job, error) {
 	r.met.misses.Add(1)
 	r.cond.Signal()
 	r.mu.Unlock()
+	j.addWaiter(ctx)
 	r.emit(Event{Kind: EventQueued, JobID: j.id, Key: key, Config: cfg})
 	return j, nil
 }
@@ -416,13 +462,12 @@ func (r *Runner) Close() {
 	r.wg.Wait()
 }
 
-func (r *Runner) newJobLocked(ctx context.Context, key string, cfg system.Config) *Job {
+func (r *Runner) newJobLocked(key string, cfg system.Config) *Job {
 	r.seq++
 	j := &Job{
 		id:         fmt.Sprintf("job-%06d", r.seq),
 		key:        key,
 		cfg:        cfg,
-		ctx:        ctx,
 		done:       make(chan struct{}),
 		enqueuedAt: time.Now(),
 	}
@@ -430,12 +475,15 @@ func (r *Runner) newJobLocked(ctx context.Context, key string, cfg system.Config
 	return j
 }
 
-// completeFromCacheLocked creates a job that is already done.
-func (r *Runner) completeFromCacheLocked(ctx context.Context, key string, cfg system.Config, res *system.Results, hit string) *Job {
-	j := r.newJobLocked(ctx, key, cfg)
+// completeFromCacheLocked creates a job that is already done. The job gets
+// a deep copy of the cached result: the cache retains sole ownership of
+// its entry, so a caller mutating what it was handed cannot corrupt every
+// future hit on the same key.
+func (r *Runner) completeFromCacheLocked(key string, cfg system.Config, res *system.Results, hit string) *Job {
+	j := r.newJobLocked(key, cfg)
 	j.state = StateDone
 	j.cacheHit = hit
-	j.result = res
+	j.result = res.Clone()
 	j.finishedAt = j.enqueuedAt
 	close(j.done)
 	r.met.queued.Add(1)
@@ -484,7 +532,7 @@ func (r *Runner) worker() {
 
 // process runs one queued job to completion (or failure).
 func (r *Runner) process(j *Job) {
-	if err := j.ctx.Err(); err != nil {
+	if err := j.execCtx.Err(); err != nil {
 		r.finish(j, nil, fmt.Errorf("runner: job %s cancelled before start: %w", j.id, err), 0)
 		return
 	}
@@ -509,7 +557,7 @@ func (r *Runner) process(j *Job) {
 		j.attempts = attempt
 		j.mu.Unlock()
 		res, err = r.runOnce(j)
-		if err == nil || !IsTransient(err) || j.ctx.Err() != nil || attempt == maxAttempts {
+		if err == nil || !IsTransient(err) || j.execCtx.Err() != nil || attempt == maxAttempts {
 			break
 		}
 		r.met.retries.Add(1)
@@ -525,7 +573,7 @@ func (r *Runner) process(j *Job) {
 				}
 			}
 			r.mu.Lock()
-			r.mem.put(j.key, res)
+			r.mem.put(j.key, res.Clone()) // the cache owns a private copy
 			r.mu.Unlock()
 		}
 	}
@@ -563,8 +611,8 @@ func (r *Runner) runOnce(j *Job) (*system.Results, error) {
 		return o.res, o.err
 	case <-timeoutC:
 		return nil, fmt.Errorf("runner: job %s exceeded timeout %v", j.id, r.opts.Timeout)
-	case <-j.ctx.Done():
-		return nil, j.ctx.Err()
+	case <-j.execCtx.Done():
+		return nil, j.execCtx.Err()
 	}
 }
 
@@ -583,6 +631,9 @@ func (r *Runner) finish(j *Job, res *system.Results, err error, dur time.Duratio
 	attempt := j.attempts
 	j.mu.Unlock()
 	close(j.done)
+	if j.cancel != nil {
+		j.cancel() // release the exec context and its waiter monitors
+	}
 
 	r.mu.Lock()
 	if r.inflight[j.key] == j {

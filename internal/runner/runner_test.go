@@ -69,8 +69,11 @@ func TestRunRealSimulationAndMemoryHit(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if again != res {
-		t.Fatal("second run did not return the memoized result")
+	if again.Cycles != res.Cycles || again.EventsRun != res.EventsRun {
+		t.Fatalf("memoized result diverged: %d cycles vs %d", again.Cycles, res.Cycles)
+	}
+	if again == res {
+		t.Fatal("memory hit returned an aliased pointer instead of an isolated copy")
 	}
 	m := r.Metrics()
 	if m.CacheHitsMemory != 1 || m.CacheMisses != 1 {
@@ -330,6 +333,141 @@ func TestConcurrentIdenticalSubmissionsCoalesce(t *testing.T) {
 	}
 	if m := r.Metrics(); m.JobsCoalesced == 0 {
 		t.Fatalf("coalesced counter = 0, want > 0: %+v", m)
+	}
+}
+
+// TestCoalescedJobSurvivesFirstSubmitterCancel is the regression test for
+// the coalescing cancellation bug: the job used to capture the *first*
+// submitter's context, so that submitter cancelling killed every later
+// submitter coalesced onto the same job.
+func TestCoalescedJobSurvivesFirstSubmitterCancel(t *testing.T) {
+	started := make(chan struct{})
+	release := make(chan struct{})
+	r := New(Options{Workers: 1})
+	defer r.Close()
+	r.execute = func(cfg system.Config) (*system.Results, error) {
+		close(started)
+		<-release
+		return fakeResults(cfg), nil
+	}
+
+	ctxA, cancelA := context.WithCancel(context.Background())
+	jobA, err := r.Submit(ctxA, tinyConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started // job is running under submitter A's interest
+
+	jobB, err := r.Submit(context.Background(), tinyConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jobA != jobB {
+		t.Fatal("identical configs did not coalesce onto one job")
+	}
+
+	// A walks away mid-run; B must still get the result.
+	cancelA()
+	if _, err := jobA.Wait(ctxA); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled waiter got %v, want context.Canceled", err)
+	}
+	close(release)
+	res, err := jobB.Wait(context.Background())
+	if err != nil {
+		t.Fatalf("second submitter's job failed after first cancelled: %v", err)
+	}
+	if res == nil || res.Cycles != 1 {
+		t.Fatalf("second submitter got a bad result: %+v", res)
+	}
+}
+
+// TestAllWaitersGoneCancelsQueuedJob: cancellation still works when every
+// interested submitter is gone — a queued job with no live waiters must
+// not burn a worker.
+func TestAllWaitersGoneCancelsQueuedJob(t *testing.T) {
+	var executed atomic.Int64
+	release := make(chan struct{})
+	r := New(Options{Workers: 1})
+	defer r.Close()
+	r.execute = func(cfg system.Config) (*system.Results, error) {
+		executed.Add(1)
+		<-release
+		return fakeResults(cfg), nil
+	}
+
+	// Occupy the single worker, then queue a job whose only two waiters
+	// both cancel before it starts.
+	blocker, err := r.Submit(context.Background(), tinyConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctxA, cancelA := context.WithCancel(context.Background())
+	ctxB, cancelB := context.WithCancel(context.Background())
+	queued, err := r.Submit(ctxA, tinyConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q2, err := r.Submit(ctxB, tinyConfig(2)); err != nil || q2 != queued {
+		t.Fatalf("second submit did not coalesce: %v", err)
+	}
+	cancelA() // one waiter left — job must stay eligible
+	select {
+	case <-queued.Done():
+		t.Fatal("job cancelled while a live waiter remained")
+	case <-time.After(20 * time.Millisecond):
+	}
+	cancelB()                         // no waiters left — job should fail without executing
+	time.Sleep(50 * time.Millisecond) // let the waiter monitor cancel the exec context
+	close(release)
+	<-queued.Done()
+	if _, err := queued.Wait(context.Background()); err == nil {
+		t.Fatal("orphaned queued job reported success")
+	}
+	if _, err := blocker.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if executed.Load() != 1 {
+		t.Fatalf("orphaned job executed anyway: %d executions, want 1", executed.Load())
+	}
+}
+
+// TestCacheHitResultsAreIsolated is the regression test for the
+// cache-aliasing bug: every memory-cache hit used to share one *Results,
+// so a caller mutating its result corrupted the cache for all future hits.
+func TestCacheHitResultsAreIsolated(t *testing.T) {
+	r := New(Options{Workers: 1})
+	defer r.Close()
+	r.execute = func(cfg system.Config) (*system.Results, error) {
+		res := fakeResults(cfg)
+		res.EventsRun = 777
+		res.FlitHopsByClass = map[string]int64{"data": 42}
+		return res, nil
+	}
+
+	first, err := r.Run(context.Background(), tinyConfig(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Vandalize everything the caller can reach, including the map.
+	first.Cycles = 0
+	first.EventsRun = 0
+	first.FlitHopsByClass["data"] = -1
+
+	second, err := r.Run(context.Background(), tinyConfig(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Cycles != 5 || second.EventsRun != 777 || second.FlitHopsByClass["data"] != 42 {
+		t.Fatalf("mutation through an earlier result leaked into the cache: %+v", second)
+	}
+	// And the second hit must itself be isolated from the first.
+	second.FlitHopsByClass["data"] = -2
+	third, err := r.Run(context.Background(), tinyConfig(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if third.FlitHopsByClass["data"] != 42 {
+		t.Fatal("cache hits share one map between callers")
 	}
 }
 

@@ -1,0 +1,34 @@
+package sim_test
+
+import (
+	"testing"
+
+	"repro/internal/system"
+)
+
+// BenchmarkEngineThroughput drives a full 16-core sweep point end to end
+// and reports sustained engine throughput in events per second — the
+// figure-of-merit `make bench` records into BENCH_engine.json. It lives in
+// the sim package's external test so engine regressions show up next to
+// the micro-benchmarks they explain.
+func BenchmarkEngineThroughput(b *testing.B) {
+	cfg := system.QuickConfig("blackscholes")
+	cfg.Cores = 16
+	cfg.AccessesPerCore = 5000
+	cfg.WorkloadScale = 0.25
+	cfg.Checker = false
+	var events uint64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := system.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		events += res.EventsRun
+	}
+	b.StopTimer()
+	if sec := b.Elapsed().Seconds(); sec > 0 {
+		b.ReportMetric(float64(events)/sec, "events/sec")
+	}
+}

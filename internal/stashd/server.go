@@ -73,6 +73,12 @@ func (s *Server) handleRun(w http.ResponseWriter, req *http.Request) {
 	}
 	res, err := job.Wait(req.Context())
 	if err != nil {
+		if req.Context().Err() != nil {
+			// The client disconnected (or its deadline passed): there is no
+			// usable response to write, and this is not a simulation
+			// failure — don't dress it up as a 500.
+			return
+		}
 		httpError(w, http.StatusInternalServerError, err)
 		return
 	}
@@ -117,7 +123,10 @@ func (s *Server) handleSweep(w http.ResponseWriter, req *http.Request) {
 	enc := json.NewEncoder(w)
 	start := time.Now()
 
-	lines := make(chan SweepLine)
+	// The channel is buffered to len(jobs): if the client disconnects and
+	// the stream loop returns early, every remaining waiter goroutine can
+	// still deliver its line and exit instead of blocking forever.
+	lines := make(chan SweepLine, len(jobs))
 	for _, job := range jobs {
 		go func(job *runner.Job) {
 			res, err := job.Wait(req.Context())
@@ -153,7 +162,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, req *http.Request) {
 			done.Failures++
 		}
 		if err := enc.Encode(line); err != nil {
-			return // client went away; waiter goroutines already drained
+			return // client went away; buffered channel lets waiters exit
 		}
 		if flusher != nil {
 			flusher.Flush()

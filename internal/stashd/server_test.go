@@ -3,13 +3,16 @@ package stashd
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"runtime"
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/runner"
 )
@@ -280,6 +283,92 @@ func TestSweepDefaultsAndResultsConsistency(t *testing.T) {
 	}
 	if !kinds["sparse"] || !kinds["stash"] {
 		t.Fatalf("default sweep kinds = %v, want sparse and stash", kinds)
+	}
+}
+
+// TestSweepClientDisconnectLeaksNoGoroutines is the regression test for
+// the handleSweep goroutine leak: with an unbuffered lines channel, a
+// client disconnect mid-stream stranded every remaining waiter goroutine
+// on a send nobody would ever receive.
+func TestSweepClientDisconnectLeaksNoGoroutines(t *testing.T) {
+	// One worker and deliberately slower simulations keep most of the
+	// sweep queued while the client walks away mid-stream.
+	r := runner.New(runner.Options{Workers: 1})
+	ts := httptest.NewServer(NewServer(r))
+	t.Cleanup(func() {
+		ts.Close()
+		r.Close()
+	})
+	base := tinyBase()
+	base.AccessesPerCore = 30000
+	sweep := SweepRequest{
+		Base:      base,
+		Workloads: []string{"blackscholes"},
+		DirKinds:  []string{"sparse", "stash"},
+		Coverages: []float64{1, 0.5, 0.25, 0.25, 0.125, 0.0625},
+	} // 12 jobs through 1 worker: the stream is alive well past line one
+	baseline := runtime.NumGoroutine()
+
+	b, err := json.Marshal(sweep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := &http.Client{Transport: &http.Transport{DisableKeepAlives: true}}
+	resp, err := client.Post(ts.URL+"/sweep", "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Read exactly one line, then slam the connection shut mid-stream.
+	if _, err := bufio.NewReader(resp.Body).ReadString('\n'); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	client.CloseIdleConnections()
+
+	// Every waiter goroutine must drain once the server notices the
+	// disconnect; the abandoned simulations themselves finish in
+	// milliseconds at this scale.
+	start := time.Now()
+	for {
+		if runtime.NumGoroutine() <= baseline+2 {
+			return
+		}
+		if time.Since(start) > 10*time.Second {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("sweep waiters leaked: %d goroutines at baseline, %d after disconnect\n%s",
+				baseline, runtime.NumGoroutine(), buf[:n])
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestRunClientCancellationIsNotA500: a client that disconnects before its
+// /run completes has no usable response; the handler must not report the
+// cancellation as a simulation failure.
+func TestRunClientCancellationIsNotA500(t *testing.T) {
+	r := runner.New(runner.Options{Workers: 1})
+	defer r.Close()
+	srv := NewServer(r)
+
+	rr := tinyBase()
+	rr.Workload = "blackscholes"
+	rr.DirKind = "stash"
+	rr.Coverage = 1
+	b, err := json.Marshal(rr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // the client is already gone
+	req := httptest.NewRequest("POST", "/run", bytes.NewReader(b)).WithContext(ctx)
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	if rec.Code == http.StatusInternalServerError {
+		t.Fatalf("client cancellation reported as 500: %s", rec.Body.String())
+	}
+	if rec.Body.Len() != 0 {
+		t.Fatalf("handler wrote a body for a cancelled request: %s", rec.Body.String())
 	}
 }
 

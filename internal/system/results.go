@@ -16,6 +16,9 @@ type Results struct {
 
 	// Time.
 	Cycles uint64
+	// EventsRun is how many discrete events the engine executed; with
+	// Cycles it gives the event density the scheduler benchmarks report.
+	EventsRun uint64
 	// AccessesPerKCycle is aggregate throughput: total accesses completed
 	// per thousand cycles (the performance metric; execution time for a
 	// fixed access count is Cycles).
@@ -80,9 +83,34 @@ type Results struct {
 	Energy energy.Breakdown
 }
 
+// Clone returns a deep copy of r: mutating the copy (including its map
+// and the embedded Config's reference fields) cannot affect the receiver.
+// The runner's result cache relies on this to hand out isolated results on
+// cache hits.
+func (r *Results) Clone() *Results {
+	if r == nil {
+		return nil
+	}
+	c := *r
+	if r.FlitHopsByClass != nil {
+		c.FlitHopsByClass = make(map[string]int64, len(r.FlitHopsByClass))
+		for k, v := range r.FlitHopsByClass {
+			c.FlitHopsByClass[k] = v
+		}
+	}
+	if r.Config.CustomMix != nil {
+		mix := *r.Config.CustomMix
+		c.Config.CustomMix = &mix
+	}
+	if r.Config.TraceFiles != nil {
+		c.Config.TraceFiles = append([]string(nil), r.Config.TraceFiles...)
+	}
+	return &c
+}
+
 // collect walks the fabric's statistics sets into a Results.
 func collect(cfg Config, fab *coherence.Fabric, procs []*coherence.Processor, sampler *occupancySampler) *Results {
-	r := &Results{Config: cfg, Cycles: uint64(fab.Engine.Now())}
+	r := &Results{Config: cfg, Cycles: uint64(fab.Engine.Now()), EventsRun: fab.Engine.EventsRun()}
 
 	var missLatSum, missLatN int64
 	for _, l1 := range fab.L1s {
