@@ -121,36 +121,77 @@ func (j *Job) Config() system.Config { return j.cfg }
 // Done returns a channel closed when the job finishes.
 func (j *Job) Done() <-chan struct{} { return j.done }
 
-// addWaiter registers one submitter's interest in j. When ctx can be
-// cancelled, a monitor goroutine drops the waiter on cancellation; a
-// context that can never be cancelled pins the job to completion.
-func (j *Job) addWaiter(ctx context.Context) {
+// waiter is one submitter's registration on a job. Dropping it is
+// idempotent: a registration is released at most once, whether by its
+// context monitor or by an explicit abort (RunAll's first-failure path),
+// so the job's waiter count can never be decremented twice for one
+// submitter.
+type waiter struct {
+	j    *Job
+	once sync.Once
+}
+
+// drop releases this registration; the last live waiter to leave an
+// unfinished job cancels its execution. Safe on a nil or empty handle.
+func (w *waiter) drop() {
+	if w == nil || w.j == nil {
+		return
+	}
+	w.once.Do(w.j.dropWaiter)
+}
+
+// register records one submitter's interest in j and returns the handle
+// that releases it. A nil handle means j is dead — its execution context
+// was already cancelled (the last prior waiter left) while the job still
+// sat in the queue — and the caller must not coalesce onto it. A finished
+// job registers trivially (its result is already published) and returns a
+// no-op handle. When ctx can be cancelled, a monitor goroutine drops the
+// registration on cancellation; a context that can never be cancelled
+// pins the job to completion. The liveness check and the waiter increment
+// happen under j.mu, the same lock dropWaiter cancels under, so a
+// registration can never land on a job in the instant its execution is
+// being cancelled.
+func (j *Job) register(ctx context.Context) *waiter {
 	j.mu.Lock()
 	if j.state == StateDone || j.state == StateFailed {
 		j.mu.Unlock()
-		return
+		return &waiter{}
+	}
+	if j.execCtx != nil && j.execCtx.Err() != nil {
+		j.mu.Unlock()
+		return nil
 	}
 	j.waiters++
 	j.mu.Unlock()
+	w := &waiter{j: j}
 	if ctx.Done() == nil {
-		return
+		return w
 	}
 	go func() {
 		select {
 		case <-ctx.Done():
-			j.dropWaiter()
+			w.drop()
 		case <-j.done:
 		}
 	}()
+	return w
 }
 
-// dropWaiter removes one waiter; the last one out cancels the execution.
+// dropWaiter removes one registration; the last one out cancels the
+// execution. Finished jobs are left untouched — their monitors can race
+// completion (both select branches ready), and decrementing then would
+// break the waiters >= 0 invariant. Cancelling under j.mu makes the
+// decision atomic with register's liveness check.
 func (j *Job) dropWaiter() {
 	j.mu.Lock()
-	j.waiters--
-	last := j.waiters <= 0
-	j.mu.Unlock()
-	if last && j.cancel != nil {
+	defer j.mu.Unlock()
+	if j.state == StateDone || j.state == StateFailed {
+		return
+	}
+	if j.waiters > 0 {
+		j.waiters--
+	}
+	if j.waiters == 0 && j.cancel != nil {
 		j.cancel()
 	}
 }
@@ -306,8 +347,10 @@ func (r *Runner) Run(ctx context.Context, cfg system.Config) (*system.Results, e
 }
 
 // RunAll executes a batch of independent configurations (deduplicated by
-// cache key) and waits for all of them. The first failure cancels every
-// job that has not started yet; RunAll returns that first error.
+// cache key) and waits for all of them. The first failure synchronously
+// abandons RunAll's registration on every job — cancelling each job that
+// has no other waiter before another queued job can start — and RunAll
+// returns that first error.
 func (r *Runner) RunAll(ctx context.Context, cfgs []system.Config) error {
 	if len(cfgs) == 0 {
 		return nil
@@ -320,16 +363,25 @@ func (r *Runner) RunAll(ctx context.Context, cfgs []system.Config) error {
 
 	seen := make(map[string]bool, len(cfgs))
 	var jobs []*Job
+	var waiters []*waiter
+	abort := func() {
+		for _, w := range waiters {
+			w.drop()
+		}
+	}
 	for _, cfg := range cfgs {
-		j, err := r.Submit(ctx, cfg)
+		j, w, err := r.submit(ctx, cfg)
 		if err != nil {
-			return err // defer cancel() aborts the already-queued jobs
+			abort() // synchronously cancel the already-queued jobs
+			return err
 		}
 		if seen[j.key] {
+			w.drop() // duplicate registration on a job already held above
 			continue
 		}
 		seen[j.key] = true
 		jobs = append(jobs, j)
+		waiters = append(waiters, w)
 	}
 
 	errc := make(chan error, len(jobs))
@@ -341,11 +393,10 @@ func (r *Runner) RunAll(ctx context.Context, cfgs []system.Config) error {
 	}
 	var firstErr error
 	for range jobs {
-		if err := <-errc; err != nil {
-			if firstErr == nil {
-				firstErr = err
-			}
-			cancel() // stop launching queued work
+		if err := <-errc; err != nil && firstErr == nil {
+			firstErr = err
+			cancel() // fail the remaining Waits promptly
+			abort()  // synchronously cancel every job not shared with others
 		}
 	}
 	return firstErr
@@ -355,34 +406,47 @@ func (r *Runner) RunAll(ctx context.Context, cfgs []system.Config) error {
 // return an already-finished job; an identical queued or running config
 // returns that existing job.
 func (r *Runner) Submit(ctx context.Context, cfg system.Config) (*Job, error) {
+	j, _, err := r.submit(ctx, cfg)
+	return j, err
+}
+
+// submit is Submit plus the waiter handle for the registration it made,
+// letting RunAll abandon its jobs synchronously on first failure.
+func (r *Runner) submit(ctx context.Context, cfg system.Config) (*Job, *waiter, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	if err := cfg.Validate(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	key, err := Key(cfg)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 
 	r.mu.Lock()
 	if r.closed {
 		r.mu.Unlock()
-		return nil, ErrClosed
+		return nil, nil, ErrClosed
 	}
 	if !r.opts.DisableCache {
 		if j, ok := r.inflight[key]; ok {
-			r.met.coalesced.Add(1)
-			r.mu.Unlock()
-			j.addWaiter(ctx)
-			return j, nil
+			if w := j.register(ctx); w != nil {
+				r.met.coalesced.Add(1)
+				r.mu.Unlock()
+				return j, w, nil
+			}
+			// Dead entry: its execution was cancelled after the last
+			// waiter left, but a worker has not retired it yet. Fall
+			// through and build a fresh job; overwriting r.inflight[key]
+			// below is safe because finish only deletes the entry while
+			// it still points at the dead job.
 		}
 		if res, ok := r.mem.get(key); ok {
 			j := r.completeFromCacheLocked(key, cfg, res, HitMemory)
 			r.mu.Unlock()
 			r.emitCached(j)
-			return j, nil
+			return j, &waiter{}, nil
 		}
 	}
 	r.mu.Unlock()
@@ -395,38 +459,42 @@ func (r *Runner) Submit(ctx context.Context, cfg system.Config) (*Job, error) {
 			r.mu.Lock()
 			if r.closed {
 				r.mu.Unlock()
-				return nil, ErrClosed
+				return nil, nil, ErrClosed
 			}
 			r.mem.put(key, res)
 			j := r.completeFromCacheLocked(key, cfg, res, HitDisk)
 			r.mu.Unlock()
 			r.emitCached(j)
-			return j, nil
+			return j, &waiter{}, nil
 		}
 	}
 
 	r.mu.Lock()
 	if r.closed {
 		r.mu.Unlock()
-		return nil, ErrClosed
+		return nil, nil, ErrClosed
 	}
 	if !r.opts.DisableCache {
 		if j, ok := r.inflight[key]; ok { // raced with another submitter
-			r.met.coalesced.Add(1)
-			r.mu.Unlock()
-			j.addWaiter(ctx)
-			return j, nil
+			if w := j.register(ctx); w != nil {
+				r.met.coalesced.Add(1)
+				r.mu.Unlock()
+				return j, w, nil
+			}
 		}
 		if res, ok := r.mem.get(key); ok { // raced with a finishing identical job
 			j := r.completeFromCacheLocked(key, cfg, res, HitMemory)
 			r.mu.Unlock()
 			r.emitCached(j)
-			return j, nil
+			return j, &waiter{}, nil
 		}
 	}
 	j := r.newJobLocked(key, cfg)
 	j.state = StateQueued
 	j.execCtx, j.cancel = context.WithCancel(context.Background())
+	// Register before the job is published: no other goroutine can see j
+	// yet, so the fresh execCtx cannot be cancelled and w is never nil.
+	w := j.register(ctx)
 	if !r.opts.DisableCache {
 		r.inflight[key] = j
 	}
@@ -435,9 +503,8 @@ func (r *Runner) Submit(ctx context.Context, cfg system.Config) (*Job, error) {
 	r.met.misses.Add(1)
 	r.cond.Signal()
 	r.mu.Unlock()
-	j.addWaiter(ctx)
 	r.emit(Event{Kind: EventQueued, JobID: j.id, Key: key, Config: cfg})
-	return j, nil
+	return j, w, nil
 }
 
 // Job returns a job by ID while it is queued, running, or among the most

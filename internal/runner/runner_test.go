@@ -431,6 +431,78 @@ func TestAllWaitersGoneCancelsQueuedJob(t *testing.T) {
 	}
 }
 
+// TestSubmitReplacesDeadInflightJob is the regression test for the dead
+// coalesce-target bug: a queued job whose execution context was already
+// cancelled (its last waiter left) lingers in the inflight table until a
+// worker retires it, and a new submitter coalescing onto it would fail
+// with "cancelled before start" even though its own context was live.
+// Submit must detect the dead entry and replace it with a fresh job.
+func TestSubmitReplacesDeadInflightJob(t *testing.T) {
+	var executed atomic.Int64
+	release := make(chan struct{})
+	r := New(Options{Workers: 1})
+	defer r.Close()
+	r.execute = func(cfg system.Config) (*system.Results, error) {
+		executed.Add(1)
+		<-release
+		return fakeResults(cfg), nil
+	}
+
+	// Occupy the single worker so the victim job stays queued.
+	blocker, err := r.Submit(context.Background(), tinyConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctxA, cancelA := context.WithCancel(context.Background())
+	dead, err := r.Submit(ctxA, tinyConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancelA() // last waiter gone: the queued job's execCtx gets cancelled
+	waitForExecCancelled(t, dead)
+
+	// The dead job is still queued and still the inflight entry for its
+	// key. A live submitter must get a fresh execution, not the corpse.
+	fresh, err := r.Submit(context.Background(), tinyConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh == dead {
+		t.Fatal("Submit coalesced onto a job whose execution was already cancelled")
+	}
+	close(release)
+	res, err := fresh.Wait(context.Background())
+	if err != nil {
+		t.Fatalf("fresh submission failed: %v", err)
+	}
+	if res == nil || res.Cycles != 2 {
+		t.Fatalf("fresh submission got a bad result: %+v", res)
+	}
+	if _, err := dead.Wait(context.Background()); err == nil {
+		t.Fatal("abandoned job reported success")
+	}
+	if _, err := blocker.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if executed.Load() != 2 {
+		t.Fatalf("executions = %d, want 2 (blocker + fresh; never the dead job)", executed.Load())
+	}
+}
+
+// waitForExecCancelled blocks until j's execution context is cancelled;
+// the waiter monitor that cancels it runs on its own goroutine.
+func waitForExecCancelled(t *testing.T, j *Job) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if j.execCtx.Err() != nil {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("job execution context was never cancelled")
+}
+
 // TestCacheHitResultsAreIsolated is the regression test for the
 // cache-aliasing bug: every memory-cache hit used to share one *Results,
 // so a caller mutating its result corrupted the cache for all future hits.
