@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: ci build test race vet bench bench-engine bench-smoke
+.PHONY: ci build test race vet bench bench-engine bench-protocol bench-smoke
 
-ci: vet race bench-smoke
+ci: vet race bench-smoke bench-protocol
 
 build:
 	$(GO) build ./...
@@ -23,11 +23,18 @@ race:
 
 # bench records the engine scheduler benchmarks into BENCH_engine.json
 # (the repo's perf trajectory), then runs the figure/table suite.
-bench: bench-engine
+bench: bench-engine bench-protocol
 	$(GO) test -bench=. -benchmem
 
 bench-engine:
 	$(GO) test -run '^$$' -bench BenchmarkEngine -benchmem ./internal/sim | $(GO) run ./cmd/benchjson -o BENCH_engine.json
+
+# bench-protocol records the coherence hot-path benchmarks into
+# BENCH_protocol.json and fails if any steady-state protocol path
+# allocates: the pooled-message/pooled-TBE design is a zero-allocs/op
+# contract, enforced here in CI.
+bench-protocol:
+	$(GO) test -run '^$$' -bench BenchmarkProtocol -benchmem ./internal/coherence | $(GO) run ./cmd/benchjson -o BENCH_protocol.json -max-allocs 0
 
 # bench-smoke executes every engine benchmark exactly once so ci catches
 # benchmark bit-rot without paying full measurement time.

@@ -21,6 +21,8 @@ import (
 
 func main() {
 	out := flag.String("o", "", "output JSON file (default stdout only)")
+	maxAllocs := flag.Float64("max-allocs", -1,
+		"fail if any benchmark reports more than this many allocs/op (-1 disables)")
 	flag.Parse()
 
 	var buf bytes.Buffer
@@ -34,6 +36,19 @@ func main() {
 		os.Exit(1)
 	}
 	rep.GeneratedAt = time.Now().UTC().Truncate(time.Second)
+	if *maxAllocs >= 0 {
+		bad := false
+		for _, b := range rep.Benchmarks {
+			if a, ok := b.Metrics["allocs/op"]; ok && a > *maxAllocs {
+				fmt.Fprintf(os.Stderr, "benchjson: %s allocates %v allocs/op (max %v)\n",
+					b.Name, a, *maxAllocs)
+				bad = true
+			}
+		}
+		if bad {
+			os.Exit(1)
+		}
+	}
 	b, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)

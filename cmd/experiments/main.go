@@ -20,6 +20,7 @@ import (
 	"strings"
 
 	"repro/internal/experiments"
+	"repro/internal/profiling"
 	"repro/internal/stats"
 )
 
@@ -33,7 +34,13 @@ func main() {
 		cacheDir  = flag.String("cache-dir", "", "persist simulation results here so repeated invocations reuse them")
 		csv       = flag.Bool("csv", false, "emit CSV instead of aligned text tables")
 	)
+	prof := profiling.AddFlags(flag.CommandLine)
 	flag.Parse()
+	if err := prof.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+	defer prof.Stop()
 
 	opts := experiments.Options{Quick: !*full, Parallel: *parallel, CacheDir: *cacheDir}
 	if *workloads != "" {
@@ -94,7 +101,7 @@ func main() {
 			}
 			fmt.Fprintf(os.Stderr, "experiments: unknown ids %v\nvalid ids: %s\n",
 				unknown, strings.Join(valid, " "))
-			os.Exit(2)
+			prof.Exit(2)
 		}
 	}
 
@@ -105,7 +112,7 @@ func main() {
 		tb, err := e.run()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", e.id, err)
-			os.Exit(1)
+			prof.Exit(1)
 		}
 		if *csv {
 			fmt.Printf("# %s\n%s\n", e.id, tb.CSV())

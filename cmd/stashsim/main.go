@@ -20,6 +20,7 @@ import (
 	"syscall"
 
 	stashsim "repro"
+	"repro/internal/profiling"
 	"repro/internal/runner"
 )
 
@@ -41,7 +42,13 @@ func main() {
 		cacheDir = flag.String("cache-dir", "", "reuse results from this disk cache directory (shared with stashd and experiments)")
 		list     = flag.Bool("list", false, "list workloads and directory kinds, then exit")
 	)
+	prof := profiling.AddFlags(flag.CommandLine)
 	flag.Parse()
+	if err := prof.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, "stashsim:", err)
+		os.Exit(1)
+	}
+	defer prof.Stop()
 
 	if *list {
 		fmt.Printf("workloads:   %s\n", strings.Join(stashsim.Workloads(), " "))
@@ -81,14 +88,18 @@ func main() {
 	res, err := r.Run(ctx, cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "stashsim:", err)
-		os.Exit(1)
+		r.Close()
+		stop()
+		prof.Exit(1)
 	}
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(res); err != nil {
 			fmt.Fprintln(os.Stderr, "stashsim:", err)
-			os.Exit(1)
+			r.Close()
+			stop()
+			prof.Exit(1)
 		}
 		return
 	}

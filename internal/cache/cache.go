@@ -63,6 +63,13 @@ type Cache struct {
 	misses   *stats.Counter
 	installs *stats.Counter
 	evicts   *stats.Counter
+
+	// victimFn adapts the caller's per-line skip predicate to the policy's
+	// way-indexed one. It is bound once here and parameterized through the
+	// two fields below, so Victim allocates no closure per call.
+	victimFn   func(way int) bool
+	victimSkip func(*Line) bool
+	victimSet  int
 }
 
 // New returns an empty cache described by cfg.
@@ -92,6 +99,9 @@ func New(cfg Config) (*Cache, error) {
 	c.misses = c.set.Counter("misses")
 	c.installs = c.set.Counter("installs")
 	c.evicts = c.set.Counter("evictions")
+	c.victimFn = func(way int) bool {
+		return c.victimSkip != nil && c.victimSkip(c.line(c.victimSet, way))
+	}
 	return c, nil
 }
 
@@ -172,9 +182,9 @@ func (c *Cache) Victim(b mem.Block, skip func(*Line) bool) *Line {
 			return ln
 		}
 	}
-	w := c.policy.Victim(set, func(way int) bool {
-		return skip != nil && skip(c.line(set, way))
-	})
+	c.victimSkip, c.victimSet = skip, set
+	w := c.policy.Victim(set, c.victimFn)
+	c.victimSkip = nil
 	if w < 0 {
 		return nil
 	}

@@ -18,21 +18,71 @@ const (
 	flagHidden uint32 = 1 << 0
 )
 
+// tbeCont names the continuation a transaction runs once its awaited
+// responses arrive. The TBEs used to hold closures here; an enum plus
+// explicit state fields keeps the steady-state path allocation-free and
+// makes the transaction state machine inspectable.
+type tbeCont uint8
+
+const (
+	contNone        tbeCont = iota
+	contFwdGetS             // 3-hop GetS: owner answered the forward
+	contFetch               // 2-hop GetS: owner answered the fetch
+	contFwdGetM             // 3-hop GetM: owner answered the forward
+	contInvOwner            // 2-hop GetM: owner acknowledged the Inv
+	contInvSharers          // GetM on a shared entry: sharer Invs acked
+	contHidden              // demand discovery broadcast completed
+	contRecall              // directory-entry recall (allocEntry) completed
+	contEvictRecall         // LLC-victim recall completed
+	contEvictHidden         // LLC-victim hidden-copy discovery completed
+)
+
+// tbeAlloc selects what allocDone does with the fresh directory entry.
+type tbeAlloc uint8
+
+const (
+	allocGrantFresh tbeAlloc = iota // grant E/M to the requester
+	allocHidden                     // finish a demand discovery (serveHidden)
+)
+
 // dirTBE serializes transactions per block at a bank. While a block's TBE
-// exists, further requests for it queue; responses (acks, fetch and
-// discovery replies) are routed straight to the TBE.
+// exists, further requests for it queue on the TBE; responses (acks, fetch
+// and discovery replies) are routed straight to the TBE. TBEs are pooled
+// and hold no closures: the request's fields are copied in at start and
+// the pending continuation is a tbeCont.
 type dirTBE struct {
 	block mem.Block
 
-	waitAcks  int
-	gotDirty  bool
-	dirtyData uint64
-	retained  int // core that kept a Shared copy after Fetch/Discover, or -1
-	anyFound  bool
-	forwarded bool // the owner already granted the requester (three-hop mode)
-	onDone    func()
-	unblocks  int    // forwarded-grant arrivals reported by requesters
-	onUnblock func() // armed when the transaction must wait for an unblock
+	// The request being served, copied out of the triggering Msg (which is
+	// released back to the pool at start).
+	reqType MsgType
+	reqFrom int
+	reqData uint64
+	reqHave bool
+
+	// Response collection.
+	waitAcks    int
+	gotDirty    bool
+	dirtyData   uint64
+	retained    int // core that kept a Shared copy after Fetch/Discover, or -1
+	anyFound    bool
+	forwarded   bool // the owner already granted the requester (three-hop mode)
+	unblocks    int  // forwarded-grant arrivals reported by requesters
+	wantUnblock bool // finish as soon as the requester's unblock arrives
+
+	// Continuation state.
+	cont      tbeCont
+	alloc     tbeAlloc
+	line      *cacheLine  // the block's (or victim's) LLC line
+	entry     *core.Entry // directory entry under service (serveTracked)
+	owner     int
+	wasSharer bool
+	parent    *dirTBE // request TBE that a recall/eviction sub-transaction resumes
+
+	// FIFO of requests queued behind this transaction, chained through
+	// Msg.next. The successor TBE inherits the remainder at finish.
+	qhead, qtail *Msg
+	qlen         int
 }
 
 // Bank is one tile's slice of the shared machinery: an inclusive LLC bank,
@@ -44,8 +94,19 @@ type Bank struct {
 	dir core.Directory
 	llc *cache.Cache
 
-	tbes   map[mem.Block]*dirTBE
-	queues map[mem.Block][]*Msg
+	tbes    *blockTable[*dirTBE]
+	tbeFree []*dirTBE
+	tbeUse  int
+	tbeHigh int
+
+	// Long-lived callbacks, bound once at construction so the hot path
+	// never allocates a closure or method value.
+	busyFn       func(mem.Block) bool
+	llcSkipFn    func(*cacheLine) bool
+	startFn      func(any)
+	memReadFn    func(any)
+	fillRetryFn  func(any)
+	allocRetryFn func(any)
 
 	set *stats.Set
 
@@ -72,15 +133,31 @@ func NewBank(id int, fab *Fabric, dir core.Directory, llcCfg cache.Config) (*Ban
 	if err != nil {
 		return nil, err
 	}
-	b := &Bank{
-		id:     id,
-		fab:    fab,
-		dir:    dir,
-		llc:    llc,
-		tbes:   make(map[mem.Block]*dirTBE),
-		queues: make(map[mem.Block][]*Msg),
-		set:    stats.NewSet(fmt.Sprintf("bank.%d", id)),
+	mshrs := fab.Params.MSHRs
+	if mshrs < 1 {
+		mshrs = 1
 	}
+	b := &Bank{
+		id:  id,
+		fab: fab,
+		dir: dir,
+		llc: llc,
+		// Sized so the worst steady-state transaction population (every
+		// core's outstanding misses plus their sub-transactions landing on
+		// one bank) stays below the grow threshold.
+		tbes: newBlockTable[*dirTBE](2 * fab.Params.Cores * (mshrs + 1)),
+		set:  stats.NewSet(fmt.Sprintf("bank.%d", id)),
+	}
+	b.busyFn = b.busy
+	b.llcSkipFn = func(ln *cacheLine) bool { return ln.Valid() && b.busy(ln.Block) }
+	b.startFn = func(arg any) { b.runStart(arg.(*dirTBE)) }
+	b.memReadFn = func(arg any) {
+		tbe := arg.(*dirTBE)
+		tbe.line.Data = b.fab.Memory.Read(tbe.block)
+		b.dirPhase(tbe, tbe.line)
+	}
+	b.fillRetryFn = func(arg any) { b.fillFromMemory(arg.(*dirTBE)) }
+	b.allocRetryFn = func(arg any) { b.allocEntry(arg.(*dirTBE)) }
 	b.getS = b.set.Counter("getS")
 	b.getM = b.set.Counter("getM")
 	b.puts = b.set.Counter("puts")
@@ -122,9 +199,11 @@ func (bk *Bank) sendCore(coreID int, m *Msg) {
 // busy reports whether block b has an in-flight transaction; the directory
 // organizations use it to skip victims they cannot touch.
 func (bk *Bank) busy(b mem.Block) bool {
-	_, ok := bk.tbes[b]
-	return ok
+	return bk.tbes.has(b)
 }
+
+// tbePoolStats reports the bank's live TBE count and high-water mark.
+func (bk *Bank) tbePoolStats() (inUse, highWater int) { return bk.tbeUse, bk.tbeHigh }
 
 // addSharer records a sharer under the configured entry format (full-map
 // or limited-pointer).
@@ -145,7 +224,9 @@ func (bk *Bank) sendEntryInvs(entry *core.Entry, b mem.Block, reason InvReason, 
 				continue
 			}
 			bk.invsSent[reason].Inc()
-			bk.sendCore(c, &Msg{Type: MsgInv, Block: b, Reason: reason})
+			inv := bk.fab.newMsg(MsgInv, b)
+			inv.Reason = reason
+			bk.sendCore(c, inv)
 			n++
 		}
 		return n
@@ -156,35 +237,52 @@ func (bk *Bank) sendEntryInvs(entry *core.Entry, b mem.Block, reason InvReason, 
 			return
 		}
 		bk.invsSent[reason].Inc()
-		bk.sendCore(c, &Msg{Type: MsgInv, Block: b, Reason: reason})
+		inv := bk.fab.newMsg(MsgInv, b)
+		inv.Reason = reason
+		bk.sendCore(c, inv)
 		n++
 	})
 	return n
 }
 
 // deliver accepts a message from the network. Requests serialize per block;
-// responses are routed to the waiting transaction.
+// responses are routed to the waiting transaction. The bank owns incoming
+// messages from here on: responses are released at the end of this call,
+// requests either start a transaction (released inside start) or queue on
+// the busy TBE until dequeued.
 func (bk *Bank) deliver(m *Msg) {
 	if m.Type.Request() {
-		if bk.busy(m.Block) {
-			q := append(bk.queues[m.Block], m)
-			bk.queues[m.Block] = q
-			bk.queuedPeak.Observe(int64(len(q)))
+		if tbe, ok := bk.tbes.get(m.Block); ok {
+			if bk.fab.pool.poison && m.free {
+				panic(fmt.Sprintf("coherence: bank %d queueing a released message %v", bk.id, m))
+			}
+			if bk.fab.pool.poison && (m.next != nil || tbe.qtail == m) {
+				panic(fmt.Sprintf("coherence: bank %d re-queueing an already-queued message %v", bk.id, m))
+			}
+			if tbe.qtail == nil {
+				tbe.qhead = m
+			} else {
+				tbe.qtail.next = m
+			}
+			tbe.qtail = m
+			tbe.qlen++
+			bk.queuedPeak.Observe(int64(tbe.qlen))
 			return
 		}
 		bk.start(m)
 		return
 	}
 	// Response: route to the TBE.
-	tbe, ok := bk.tbes[m.Block]
+	tbe, ok := bk.tbes.get(m.Block)
 	if m.Type == MsgUnblock {
 		if !ok {
 			panic(fmt.Sprintf("coherence: bank %d got %v with no open transaction", bk.id, m))
 		}
 		tbe.unblocks++
-		if f := tbe.onUnblock; f != nil {
-			tbe.onUnblock = nil
-			f()
+		bk.fab.releaseMsg(m)
+		if tbe.wantUnblock {
+			tbe.wantUnblock = false
+			bk.finish(tbe)
 		}
 		return
 	}
@@ -204,194 +302,250 @@ func (bk *Bank) deliver(m *Msg) {
 	if m.Forwarded {
 		tbe.forwarded = true
 	}
+	bk.fab.releaseMsg(m)
 	tbe.waitAcks--
 	if tbe.waitAcks == 0 {
-		tbe.onDone()
+		bk.runCont(tbe)
 	}
 }
 
-// start claims the block's TBE and, after the bank access latency, runs the
-// transaction.
-func (bk *Bank) start(m *Msg) {
+// start claims the block's TBE, copies the request out of m (releasing it)
+// and, after the bank access latency, runs the transaction.
+func (bk *Bank) start(m *Msg) *dirTBE {
 	tbe := bk.newTBE(m.Block)
-	bk.fab.Engine.After(bk.fab.Params.BankLatency, "bank.start", func() {
-		switch m.Type {
-		case MsgGetS, MsgGetM:
-			bk.handleGet(m, tbe)
-		case MsgPutS, MsgPutE, MsgPutM:
-			bk.handlePut(m)
-			bk.finish(tbe)
-		default:
-			panic(fmt.Sprintf("coherence: bank %d cannot start %v", bk.id, m))
-		}
-	})
+	tbe.reqType = m.Type
+	tbe.reqFrom = m.From
+	tbe.reqData = m.Data
+	tbe.reqHave = m.HaveLine
+	bk.fab.releaseMsg(m)
+	bk.fab.Engine.AfterArg(bk.fab.Params.BankLatency, "bank.start", bk.startFn, tbe)
+	return tbe
 }
 
+// runStart is the bank.start event body.
+func (bk *Bank) runStart(tbe *dirTBE) {
+	switch tbe.reqType {
+	case MsgGetS, MsgGetM:
+		bk.handleGet(tbe)
+	case MsgPutS, MsgPutE, MsgPutM:
+		bk.handlePut(tbe)
+		bk.finish(tbe)
+	default:
+		panic(fmt.Sprintf("coherence: bank %d cannot start %s for block %#x", bk.id, tbe.reqType, uint64(tbe.block)))
+	}
+}
+
+// newTBE claims a pooled TBE for block b.
 func (bk *Bank) newTBE(b mem.Block) *dirTBE {
 	if bk.busy(b) {
 		panic(fmt.Sprintf("coherence: bank %d double transaction on block %#x", bk.id, uint64(b)))
 	}
-	tbe := &dirTBE{block: b, retained: -1}
-	bk.tbes[b] = tbe
+	var tbe *dirTBE
+	if n := len(bk.tbeFree); n > 0 {
+		tbe = bk.tbeFree[n-1]
+		bk.tbeFree = bk.tbeFree[:n-1]
+		*tbe = dirTBE{}
+	} else {
+		tbe = &dirTBE{}
+	}
+	tbe.block = b
+	tbe.retained = -1
+	bk.tbeUse++
+	if bk.tbeUse > bk.tbeHigh {
+		bk.tbeHigh = bk.tbeUse
+	}
+	bk.tbes.put(b, tbe)
 	return tbe
 }
 
 // finish releases the TBE and pumps the block's request queue.
 func (bk *Bank) finish(tbe *dirTBE) {
 	b := tbe.block
-	if bk.tbes[b] != tbe {
+	if cur, ok := bk.tbes.get(b); !ok || cur != tbe {
 		panic(fmt.Sprintf("coherence: bank %d finishing stale transaction for %#x", bk.id, uint64(b)))
 	}
-	delete(bk.tbes, b)
-	q := bk.queues[b]
-	if len(q) == 0 {
-		delete(bk.queues, b)
+	bk.tbes.del(b)
+	qhead, qtail, qlen := tbe.qhead, tbe.qtail, tbe.qlen
+	bk.tbeUse--
+	bk.tbeFree = append(bk.tbeFree, tbe)
+	if qlen == 0 {
 		return
 	}
-	next := q[0]
-	if len(q) == 1 {
-		delete(bk.queues, b)
-	} else {
-		bk.queues[b] = q[1:]
+	next := qhead
+	qhead = next.next
+	next.next = nil
+	qlen--
+	if qhead == nil {
+		qtail = nil
 	}
 	// Claim the successor's TBE synchronously: leaving even a one-cycle
 	// gap would let an arriving request or a victim selection grab the
-	// block first. The successor's handler still runs after BankLatency.
-	bk.start(next)
+	// block first. The successor's handler still runs after BankLatency,
+	// and it inherits the rest of the queue.
+	succ := bk.start(next)
+	succ.qhead, succ.qtail, succ.qlen = qhead, qtail, qlen
 }
 
-// waitUnblock runs fn once the requester has confirmed its forwarded grant
-// (which may already have happened).
-func (bk *Bank) waitUnblock(tbe *dirTBE, fn func()) {
+// finishOnUnblock finishes the transaction once the requester has confirmed
+// its forwarded grant (which may already have happened).
+func (bk *Bank) finishOnUnblock(tbe *dirTBE) {
 	if tbe.unblocks > 0 {
-		fn()
+		bk.finish(tbe)
 		return
 	}
-	tbe.onUnblock = fn
+	tbe.wantUnblock = true
 }
 
-// wait arms the TBE to collect n responses, then run onDone. n == 0 runs
-// onDone immediately.
-func (bk *Bank) wait(tbe *dirTBE, n int, onDone func()) {
+// wait arms the TBE to collect n responses, then run cont. n == 0 runs the
+// continuation immediately.
+func (bk *Bank) wait(tbe *dirTBE, n int, cont tbeCont) {
 	tbe.gotDirty = false
 	tbe.retained = -1
 	tbe.anyFound = false
 	tbe.forwarded = false
+	tbe.cont = cont
 	if n == 0 {
-		tbe.onDone = nil
-		onDone()
+		bk.runCont(tbe)
 		return
 	}
 	tbe.waitAcks = n
-	tbe.onDone = onDone
+}
+
+// runCont dispatches the TBE's armed continuation.
+func (bk *Bank) runCont(tbe *dirTBE) {
+	switch tbe.cont {
+	case contFwdGetS:
+		bk.fwdGetSDone(tbe)
+	case contFetch:
+		bk.fetchDone(tbe)
+	case contFwdGetM:
+		bk.fwdGetMDone(tbe)
+	case contInvOwner:
+		bk.invOwnerDone(tbe)
+	case contInvSharers:
+		bk.invSharersDone(tbe)
+	case contHidden:
+		bk.hiddenDone(tbe)
+	case contRecall:
+		bk.recallDone(tbe)
+	case contEvictRecall:
+		bk.evictRecallDone(tbe)
+	case contEvictHidden:
+		bk.evictHiddenDone(tbe)
+	default:
+		panic(fmt.Sprintf("coherence: bank %d TBE for %#x has no continuation", bk.id, uint64(tbe.block)))
+	}
 }
 
 // ---------------------------------------------------------------------------
 // GetS / GetM
 // ---------------------------------------------------------------------------
 
-func (bk *Bank) handleGet(m *Msg, tbe *dirTBE) {
-	if m.Type == MsgGetS {
+func (bk *Bank) handleGet(tbe *dirTBE) {
+	if tbe.reqType == MsgGetS {
 		bk.getS.Inc()
 	} else {
 		bk.getM.Inc()
 	}
-	if line := bk.llc.Lookup(m.Block); line != nil {
-		bk.dirPhase(m, tbe, line)
+	if line := bk.llc.Lookup(tbe.block); line != nil {
+		bk.dirPhase(tbe, line)
 		return
 	}
-	bk.fillFromMemory(m.Block, tbe, func(line *cacheLine) {
-		bk.dirPhase(m, tbe, line)
-	})
+	bk.fillFromMemory(tbe)
 }
 
-// fillFromMemory brings m.Block into the LLC: it evicts a victim (recalling
-// or discovering its private copies as inclusion demands) and fetches the
-// block from memory. cont runs with the filled line.
-func (bk *Bank) fillFromMemory(b mem.Block, tbe *dirTBE, cont func(*cacheLine)) {
-	victim := bk.llc.Victim(b, func(ln *cacheLine) bool { return ln.Valid() && bk.busy(ln.Block) })
+// fillFromMemory brings tbe.block into the LLC: it evicts a victim
+// (recalling or discovering its private copies as inclusion demands) and
+// fetches the block from memory, continuing into dirPhase.
+func (bk *Bank) fillFromMemory(tbe *dirTBE) {
+	victim := bk.llc.Victim(tbe.block, bk.llcSkipFn)
 	if victim == nil {
 		// Every candidate way has an in-flight transaction; retry.
 		bk.allocRetries.Inc()
-		bk.fab.Engine.After(bk.fab.Params.RetryDelay, "bank.llc-victim-retry", func() {
-			bk.fillFromMemory(b, tbe, cont)
-		})
+		bk.fab.Engine.AfterArg(bk.fab.Params.RetryDelay, "bank.llc-victim-retry", bk.fillRetryFn, tbe)
 		return
 	}
-
-	fetch := func() {
-		// Claim the line immediately so concurrent fills cannot steal it;
-		// the TBE for b keeps everyone away from the garbage data until
-		// the memory read lands.
-		bk.llc.Install(victim, b, mem.Shared, 0)
-		bk.fab.Engine.After(bk.fab.Params.MemLatency, "bank.memread", func() {
-			victim.Data = bk.fab.Memory.Read(b)
-			cont(victim)
-		})
-	}
-
+	tbe.line = victim
 	if !victim.Valid() {
-		fetch()
+		bk.claimAndFetch(tbe)
 		return
 	}
-	bk.evictLLCVictim(victim, func() {
-		fetch()
-	})
+	bk.evictLLCVictim(tbe, victim)
+}
+
+// claimAndFetch claims tbe.line for tbe.block immediately — so concurrent
+// fills cannot steal it; the TBE keeps everyone away from the garbage data
+// — and reads the block from memory.
+func (bk *Bank) claimAndFetch(tbe *dirTBE) {
+	bk.llc.Install(tbe.line, tbe.block, mem.Shared, 0)
+	bk.fab.Engine.AfterArg(bk.fab.Params.MemLatency, "bank.memread", bk.memReadFn, tbe)
 }
 
 // evictLLCVictim enforces inclusion for an LLC victim: tracked copies are
 // recalled, hidden copies are discovered and invalidated, and dirty data is
-// written back to memory. cont runs once the line may be reused.
-func (bk *Bank) evictLLCVictim(victim *cacheLine, cont func()) {
+// written back to memory. The fill continues once the line may be reused.
+func (bk *Bank) evictLLCVictim(tbe *dirTBE, victim *cacheLine) {
 	vb := victim.Block
-	finishEvict := func(sub *dirTBE) {
-		if sub.gotDirty {
-			victim.Data = sub.dirtyData
-			victim.State = mem.Modified
-		}
-		if victim.State == mem.Modified {
-			bk.fab.Memory.Write(vb, victim.Data)
-		}
-		// The line is reused by the caller; the eviction itself was
-		// counted by Install.
-	}
-
 	if entry := bk.dir.Probe(vb); entry != nil {
 		// Back-invalidate every tracked copy.
 		bk.llcEvictRecalls.Inc()
 		sub := bk.newTBE(vb)
+		sub.parent = tbe
+		sub.line = victim
 		n := bk.sendEntryInvs(entry, vb, ReasonLLCEvict, -1)
-		bk.wait(sub, n, func() {
-			finishEvict(sub)
-			bk.dir.Remove(vb)
-			bk.finish(sub)
-			cont()
-		})
+		bk.wait(sub, n, contEvictRecall)
 		return
 	}
 	if victim.Flags&flagHidden != 0 {
 		// A hidden private copy may exist anywhere: discover and kill it.
 		bk.llcEvictHidden.Inc()
 		sub := bk.newTBE(vb)
+		sub.parent = tbe
+		sub.line = victim
 		bk.discover(vb, DiscoverInvalidate, ReasonLLCEvict, -1)
-		bk.wait(sub, bk.fab.Params.Cores, func() {
-			if sub.anyFound {
-				bk.discFound.Inc()
-			} else {
-				bk.discStale.Inc()
-			}
-			bk.hiddenCleared.Inc()
-			finishEvict(sub)
-			bk.finish(sub)
-			cont()
-		})
+		bk.wait(sub, bk.fab.Params.Cores, contEvictHidden)
 		return
 	}
 	bk.llcEvictUntracked.Inc()
 	if victim.State == mem.Modified {
 		bk.fab.Memory.Write(vb, victim.Data)
 	}
-	cont()
+	bk.claimAndFetch(tbe)
+}
+
+// finishEvict folds any recalled dirty data into the victim line and writes
+// a modified victim back to memory. The line is reused by the caller; the
+// eviction itself is counted by Install.
+func (bk *Bank) finishEvict(sub *dirTBE) {
+	victim := sub.line
+	if sub.gotDirty {
+		victim.Data = sub.dirtyData
+		victim.State = mem.Modified
+	}
+	if victim.State == mem.Modified {
+		bk.fab.Memory.Write(sub.block, victim.Data)
+	}
+}
+
+func (bk *Bank) evictRecallDone(sub *dirTBE) {
+	bk.finishEvict(sub)
+	bk.dir.Remove(sub.block)
+	parent := sub.parent
+	bk.finish(sub)
+	bk.claimAndFetch(parent)
+}
+
+func (bk *Bank) evictHiddenDone(sub *dirTBE) {
+	if sub.anyFound {
+		bk.discFound.Inc()
+	} else {
+		bk.discStale.Inc()
+	}
+	bk.hiddenCleared.Inc()
+	bk.finishEvict(sub)
+	parent := sub.parent
+	bk.finish(sub)
+	bk.claimAndFetch(parent)
 }
 
 // discover broadcasts a discovery probe for block b to every core except
@@ -403,213 +557,270 @@ func (bk *Bank) discover(b mem.Block, kind DiscoverKind, reason InvReason, skip 
 			continue
 		}
 		bk.discProbesSent.Inc()
-		bk.sendCore(c, &Msg{Type: MsgDiscover, Block: b, Kind: kind, Reason: reason})
+		probe := bk.fab.newMsg(MsgDiscover, b)
+		probe.Kind = kind
+		probe.Reason = reason
+		bk.sendCore(c, probe)
 	}
 }
 
 // dirPhase consults the directory once the block is LLC-resident.
-func (bk *Bank) dirPhase(m *Msg, tbe *dirTBE, line *cacheLine) {
-	if entry := bk.dir.Lookup(m.Block); entry != nil {
-		bk.serveTracked(m, tbe, line, entry)
+func (bk *Bank) dirPhase(tbe *dirTBE, line *cacheLine) {
+	tbe.line = line
+	if entry := bk.dir.Lookup(tbe.block); entry != nil {
+		bk.serveTracked(tbe, line, entry)
 		return
 	}
 	if line.Flags&flagHidden != 0 {
-		bk.serveHidden(m, tbe, line)
+		bk.serveHidden(tbe)
 		return
 	}
 	// Untracked, not hidden: no private copies exist anywhere.
-	bk.allocEntry(m.Block, tbe, func(entry *core.Entry) {
-		bk.grantFresh(m, line, entry)
-		bk.finish(tbe)
-	})
+	tbe.alloc = allocGrantFresh
+	bk.allocEntry(tbe)
 }
 
 // serveHidden runs the stash directory's discovery flow: the LLC line says
 // an untracked private copy may exist, so probe all other cores, fold any
 // dirty data into the LLC, rebuild tracking and only then serve the
 // request.
-func (bk *Bank) serveHidden(m *Msg, tbe *dirTBE, line *cacheLine) {
+func (bk *Bank) serveHidden(tbe *dirTBE) {
 	kind := DiscoverInvalidate
-	if m.Type == MsgGetS {
+	if tbe.reqType == MsgGetS {
 		kind = DiscoverDowngrade
 	}
-	bk.discover(m.Block, kind, ReasonDemand, m.From)
-	bk.wait(tbe, bk.fab.Params.Cores-1, func() {
-		line.Flags &^= flagHidden
-		bk.hiddenCleared.Inc()
-		if tbe.anyFound {
-			bk.discFound.Inc()
-		} else {
-			// The hidden copy was silently gone; the bit was stale.
-			bk.discStale.Inc()
-		}
-		if tbe.gotDirty {
-			line.Data = tbe.dirtyData
-			line.State = mem.Modified
-		}
-		retained := tbe.retained
-		bk.allocEntry(m.Block, tbe, func(entry *core.Entry) {
-			if m.Type == MsgGetS && retained >= 0 {
-				// The hidden owner was downgraded and kept a Shared copy.
-				bk.addSharer(entry, retained)
-				bk.addSharer(entry, m.From)
-				entry.Owned = false
-				bk.sendCore(m.From, &Msg{Type: MsgDataS, Block: m.Block, Data: line.Data, HasData: true})
-			} else {
-				bk.grantFresh(m, line, entry)
-			}
-			bk.finish(tbe)
-		})
-	})
+	bk.discover(tbe.block, kind, ReasonDemand, tbe.reqFrom)
+	bk.wait(tbe, bk.fab.Params.Cores-1, contHidden)
+}
+
+func (bk *Bank) hiddenDone(tbe *dirTBE) {
+	line := tbe.line
+	line.Flags &^= flagHidden
+	bk.hiddenCleared.Inc()
+	if tbe.anyFound {
+		bk.discFound.Inc()
+	} else {
+		// The hidden copy was silently gone; the bit was stale.
+		bk.discStale.Inc()
+	}
+	if tbe.gotDirty {
+		line.Data = tbe.dirtyData
+		line.State = mem.Modified
+	}
+	tbe.alloc = allocHidden
+	bk.allocEntry(tbe)
+}
+
+// allocDone continues a request once allocEntry produced its entry.
+func (bk *Bank) allocDone(tbe *dirTBE, entry *core.Entry) {
+	if tbe.alloc == allocHidden && tbe.reqType == MsgGetS && tbe.retained >= 0 {
+		// The hidden owner was downgraded and kept a Shared copy.
+		bk.addSharer(entry, tbe.retained)
+		bk.addSharer(entry, tbe.reqFrom)
+		entry.Owned = false
+		g := bk.fab.newMsg(MsgDataS, tbe.block)
+		g.Data, g.HasData = tbe.line.Data, true
+		bk.sendCore(tbe.reqFrom, g)
+	} else {
+		bk.grantFresh(tbe, entry)
+	}
+	bk.finish(tbe)
 }
 
 // grantFresh grants a block with no other live copies: Exclusive for reads
 // (the MESI E optimization), Modified for writes.
-func (bk *Bank) grantFresh(m *Msg, line *cacheLine, entry *core.Entry) {
-	entry.Sharers.Add(m.From)
+func (bk *Bank) grantFresh(tbe *dirTBE, entry *core.Entry) {
+	entry.Sharers.Add(tbe.reqFrom)
 	entry.Owned = true
 	t := MsgDataE
-	if m.Type == MsgGetM {
+	if tbe.reqType == MsgGetM {
 		t = MsgDataM
 	}
-	bk.sendCore(m.From, &Msg{Type: t, Block: m.Block, Data: line.Data, HasData: true})
+	g := bk.fab.newMsg(t, tbe.block)
+	g.Data, g.HasData = tbe.line.Data, true
+	bk.sendCore(tbe.reqFrom, g)
 }
 
 // serveTracked serves a request for a block with a live directory entry.
-func (bk *Bank) serveTracked(m *Msg, tbe *dirTBE, line *cacheLine, entry *core.Entry) {
-	r := m.From
+func (bk *Bank) serveTracked(tbe *dirTBE, line *cacheLine, entry *core.Entry) {
+	r := tbe.reqFrom
+	tbe.entry = entry
 	switch {
-	case m.Type == MsgGetS && entry.Owned:
+	case tbe.reqType == MsgGetS && entry.Owned:
 		owner := entry.Owner()
 		if owner == r {
 			// Only reachable with silent clean evictions: the owner
 			// silently dropped its Exclusive copy and re-reads.
-			bk.sendCore(r, &Msg{Type: MsgDataE, Block: m.Block, Data: line.Data, HasData: true})
+			g := bk.fab.newMsg(MsgDataE, tbe.block)
+			g.Data, g.HasData = line.Data, true
+			bk.sendCore(r, g)
 			bk.finish(tbe)
 			return
 		}
+		tbe.owner = owner
 		if bk.fab.Params.ThreeHopForwarding {
 			bk.fetchesSent.Inc()
-			bk.sendCore(owner, &Msg{Type: MsgFwdGetS, Block: m.Block, Requester: r})
-			bk.wait(tbe, 1, func() {
-				if tbe.gotDirty {
-					line.Data = tbe.dirtyData
-					line.State = mem.Modified
-				}
-				bk.addSharer(entry, r)
-				if tbe.forwarded {
-					// The owner granted a Shared copy directly; it keeps
-					// its own copy only when it reported Retained. Hold the
-					// block until the requester confirms the grant landed.
-					if tbe.retained != owner {
-						entry.Sharers.Remove(owner)
-					}
-					entry.Owned = false
-					bk.waitUnblock(tbe, func() { bk.finish(tbe) })
-				} else {
-					// Owner had nothing (silent eviction); serve from the
-					// LLC as in the two-hop flow.
-					entry.Sharers.Remove(owner)
-					entry.Owned = true
-					bk.sendCore(r, &Msg{Type: MsgDataE, Block: m.Block, Data: line.Data, HasData: true})
-					bk.finish(tbe)
-				}
-			})
+			fw := bk.fab.newMsg(MsgFwdGetS, tbe.block)
+			fw.Requester = r
+			bk.sendCore(owner, fw)
+			bk.wait(tbe, 1, contFwdGetS)
 			return
 		}
 		bk.fetchesSent.Inc()
-		bk.sendCore(owner, &Msg{Type: MsgFetch, Block: m.Block})
-		bk.wait(tbe, 1, func() {
-			if tbe.gotDirty {
-				line.Data = tbe.dirtyData
-				line.State = mem.Modified
-			}
-			if tbe.retained == owner {
-				entry.Owned = false
-				bk.addSharer(entry, r)
-				bk.sendCore(r, &Msg{Type: MsgDataS, Block: m.Block, Data: line.Data, HasData: true})
-			} else {
-				// The owner's copy was already on its way out: the
-				// requester becomes the sole, exclusive holder.
-				entry.Sharers.Remove(owner)
-				entry.Sharers.Add(r)
-				entry.Owned = true
-				bk.sendCore(r, &Msg{Type: MsgDataE, Block: m.Block, Data: line.Data, HasData: true})
-			}
-			bk.finish(tbe)
-		})
+		bk.sendCore(owner, bk.fab.newMsg(MsgFetch, tbe.block))
+		bk.wait(tbe, 1, contFetch)
 
-	case m.Type == MsgGetS: // shared entry
+	case tbe.reqType == MsgGetS: // shared entry
 		bk.addSharer(entry, r)
-		bk.sendCore(r, &Msg{Type: MsgDataS, Block: m.Block, Data: line.Data, HasData: true})
+		g := bk.fab.newMsg(MsgDataS, tbe.block)
+		g.Data, g.HasData = line.Data, true
+		bk.sendCore(r, g)
 		bk.finish(tbe)
 
 	case entry.Owned: // GetM
 		owner := entry.Owner()
 		if owner == r {
 			// Silent clean evictions only: re-acquire for writing.
-			bk.sendCore(r, &Msg{Type: MsgDataM, Block: m.Block, Data: line.Data, HasData: true})
+			g := bk.fab.newMsg(MsgDataM, tbe.block)
+			g.Data, g.HasData = line.Data, true
+			bk.sendCore(r, g)
 			bk.finish(tbe)
 			return
 		}
+		tbe.owner = owner
 		bk.invsSent[ReasonDemand].Inc()
 		if bk.fab.Params.ThreeHopForwarding {
-			bk.sendCore(owner, &Msg{Type: MsgFwdGetM, Block: m.Block, Requester: r})
-			bk.wait(tbe, 1, func() {
-				if tbe.gotDirty {
-					line.Data = tbe.dirtyData
-					line.State = mem.Modified
-				}
-				entry.Sharers = 0
-				entry.Sharers.Add(r)
-				entry.Owned = true
-				if tbe.forwarded {
-					bk.waitUnblock(tbe, func() { bk.finish(tbe) })
-				} else {
-					bk.sendCore(r, &Msg{Type: MsgDataM, Block: m.Block, Data: line.Data, HasData: true})
-					bk.finish(tbe)
-				}
-			})
+			fw := bk.fab.newMsg(MsgFwdGetM, tbe.block)
+			fw.Requester = r
+			bk.sendCore(owner, fw)
+			bk.wait(tbe, 1, contFwdGetM)
 			return
 		}
-		bk.sendCore(owner, &Msg{Type: MsgInv, Block: m.Block, Reason: ReasonDemand})
-		bk.wait(tbe, 1, func() {
-			if tbe.gotDirty {
-				line.Data = tbe.dirtyData
-				line.State = mem.Modified
-			}
-			entry.Sharers = 0
-			entry.Sharers.Add(r)
-			entry.Owned = true
-			bk.sendCore(r, &Msg{Type: MsgDataM, Block: m.Block, Data: line.Data, HasData: true})
-			bk.finish(tbe)
-		})
+		inv := bk.fab.newMsg(MsgInv, tbe.block)
+		inv.Reason = ReasonDemand
+		bk.sendCore(owner, inv)
+		bk.wait(tbe, 1, contInvOwner)
 
 	default: // GetM on a shared entry
-		wasSharer := !entry.Overflowed && entry.Sharers.Has(r)
-		n := bk.sendEntryInvs(entry, m.Block, ReasonDemand, r)
-		bk.wait(tbe, n, func() {
-			entry.Sharers = 0
-			entry.Overflowed = false
-			entry.Sharers.Add(r)
-			entry.Owned = true
-			grant := &Msg{Type: MsgDataM, Block: m.Block}
-			if !(m.HaveLine && wasSharer) {
-				grant.Data, grant.HasData = line.Data, true
-			}
-			bk.sendCore(r, grant)
-			bk.finish(tbe)
-		})
+		tbe.wasSharer = !entry.Overflowed && entry.Sharers.Has(r)
+		n := bk.sendEntryInvs(entry, tbe.block, ReasonDemand, r)
+		bk.wait(tbe, n, contInvSharers)
 	}
 }
 
-// allocEntry obtains a directory entry for b, recalling or stashing a
-// victim as the organization demands, and runs cont with the fresh entry.
-func (bk *Bank) allocEntry(b mem.Block, tbe *dirTBE, cont func(*core.Entry)) {
-	res := bk.dir.Allocate(b, bk.busy)
+// fwdGetSDone finishes a three-hop GetS once the owner answered.
+func (bk *Bank) fwdGetSDone(tbe *dirTBE) {
+	line, entry, owner, r := tbe.line, tbe.entry, tbe.owner, tbe.reqFrom
+	if tbe.gotDirty {
+		line.Data = tbe.dirtyData
+		line.State = mem.Modified
+	}
+	bk.addSharer(entry, r)
+	if tbe.forwarded {
+		// The owner granted a Shared copy directly; it keeps its own copy
+		// only when it reported Retained. Hold the block until the
+		// requester confirms the grant landed.
+		if tbe.retained != owner {
+			entry.Sharers.Remove(owner)
+		}
+		entry.Owned = false
+		bk.finishOnUnblock(tbe)
+	} else {
+		// Owner had nothing (silent eviction); serve from the LLC as in
+		// the two-hop flow.
+		entry.Sharers.Remove(owner)
+		entry.Owned = true
+		g := bk.fab.newMsg(MsgDataE, tbe.block)
+		g.Data, g.HasData = line.Data, true
+		bk.sendCore(r, g)
+		bk.finish(tbe)
+	}
+}
+
+// fetchDone finishes a two-hop GetS once the owner answered the Fetch.
+func (bk *Bank) fetchDone(tbe *dirTBE) {
+	line, entry, owner, r := tbe.line, tbe.entry, tbe.owner, tbe.reqFrom
+	if tbe.gotDirty {
+		line.Data = tbe.dirtyData
+		line.State = mem.Modified
+	}
+	if tbe.retained == owner {
+		entry.Owned = false
+		bk.addSharer(entry, r)
+		g := bk.fab.newMsg(MsgDataS, tbe.block)
+		g.Data, g.HasData = line.Data, true
+		bk.sendCore(r, g)
+	} else {
+		// The owner's copy was already on its way out: the requester
+		// becomes the sole, exclusive holder.
+		entry.Sharers.Remove(owner)
+		entry.Sharers.Add(r)
+		entry.Owned = true
+		g := bk.fab.newMsg(MsgDataE, tbe.block)
+		g.Data, g.HasData = line.Data, true
+		bk.sendCore(r, g)
+	}
+	bk.finish(tbe)
+}
+
+// fwdGetMDone finishes a three-hop GetM once the owner answered.
+func (bk *Bank) fwdGetMDone(tbe *dirTBE) {
+	line, entry, r := tbe.line, tbe.entry, tbe.reqFrom
+	if tbe.gotDirty {
+		line.Data = tbe.dirtyData
+		line.State = mem.Modified
+	}
+	entry.Sharers = 0
+	entry.Sharers.Add(r)
+	entry.Owned = true
+	if tbe.forwarded {
+		bk.finishOnUnblock(tbe)
+	} else {
+		g := bk.fab.newMsg(MsgDataM, tbe.block)
+		g.Data, g.HasData = line.Data, true
+		bk.sendCore(r, g)
+		bk.finish(tbe)
+	}
+}
+
+// invOwnerDone finishes a two-hop GetM once the owner acknowledged.
+func (bk *Bank) invOwnerDone(tbe *dirTBE) {
+	line, entry, r := tbe.line, tbe.entry, tbe.reqFrom
+	if tbe.gotDirty {
+		line.Data = tbe.dirtyData
+		line.State = mem.Modified
+	}
+	entry.Sharers = 0
+	entry.Sharers.Add(r)
+	entry.Owned = true
+	g := bk.fab.newMsg(MsgDataM, tbe.block)
+	g.Data, g.HasData = line.Data, true
+	bk.sendCore(r, g)
+	bk.finish(tbe)
+}
+
+// invSharersDone finishes a GetM on a shared entry once every sharer acked.
+func (bk *Bank) invSharersDone(tbe *dirTBE) {
+	entry, r := tbe.entry, tbe.reqFrom
+	entry.Sharers = 0
+	entry.Overflowed = false
+	entry.Sharers.Add(r)
+	entry.Owned = true
+	grant := bk.fab.newMsg(MsgDataM, tbe.block)
+	if !(tbe.reqHave && tbe.wasSharer) {
+		grant.Data, grant.HasData = tbe.line.Data, true
+	}
+	bk.sendCore(r, grant)
+	bk.finish(tbe)
+}
+
+// allocEntry obtains a directory entry for tbe.block, recalling or stashing
+// a victim as the organization demands, then runs allocDone.
+func (bk *Bank) allocEntry(tbe *dirTBE) {
+	res := bk.dir.Allocate(tbe.block, bk.busyFn)
 	switch res.Outcome {
 	case core.AllocOK:
-		cont(res.Entry)
+		bk.allocDone(tbe, res.Entry)
 
 	case core.AllocStashed:
 		// The dropped entry's block becomes hidden: flag its LLC line so a
@@ -620,35 +831,38 @@ func (bk *Bank) allocEntry(b mem.Block, tbe *dirTBE, cont func(*core.Entry)) {
 		}
 		line.Flags |= flagHidden
 		bk.hiddenSet.Inc()
-		cont(res.Entry)
+		bk.allocDone(tbe, res.Entry)
 
 	case core.AllocNeedsRecall:
 		victim := res.Victim
 		vb := victim.Block
 		sub := bk.newTBE(vb)
+		sub.parent = tbe
 		n := bk.sendEntryInvs(victim, vb, ReasonRecall, -1)
-		bk.wait(sub, n, func() {
-			if sub.gotDirty {
-				vline := bk.llc.Probe(vb)
-				if vline == nil {
-					panic(fmt.Sprintf("coherence: bank %d recalled block %#x that is not LLC-resident", bk.id, uint64(vb)))
-				}
-				vline.Data = sub.dirtyData
-				vline.State = mem.Modified
-			}
-			bk.dir.Remove(vb)
-			bk.finish(sub)
-			// Same-event retry: the freed slot cannot be stolen before we
-			// run again.
-			bk.allocEntry(b, tbe, cont)
-		})
+		bk.wait(sub, n, contRecall)
 
 	case core.AllocBlocked:
 		bk.allocRetries.Inc()
-		bk.fab.Engine.After(bk.fab.Params.RetryDelay, "bank.alloc-retry", func() {
-			bk.allocEntry(b, tbe, cont)
-		})
+		bk.fab.Engine.AfterArg(bk.fab.Params.RetryDelay, "bank.alloc-retry", bk.allocRetryFn, tbe)
 	}
+}
+
+// recallDone finishes a directory-entry recall and retries the allocation
+// in the same event: the freed slot cannot be stolen before we run again.
+func (bk *Bank) recallDone(sub *dirTBE) {
+	vb := sub.block
+	if sub.gotDirty {
+		vline := bk.llc.Probe(vb)
+		if vline == nil {
+			panic(fmt.Sprintf("coherence: bank %d recalled block %#x that is not LLC-resident", bk.id, uint64(vb)))
+		}
+		vline.Data = sub.dirtyData
+		vline.State = mem.Modified
+	}
+	bk.dir.Remove(vb)
+	parent := sub.parent
+	bk.finish(sub)
+	bk.allocEntry(parent)
 }
 
 // ---------------------------------------------------------------------------
@@ -658,14 +872,14 @@ func (bk *Bank) allocEntry(b mem.Block, tbe *dirTBE, cont func(*core.Entry)) {
 // handlePut retires an L1 eviction notification. Races with recalls,
 // fetches and LLC evictions make several "stale" shapes legal; each is
 // acknowledged and folded in as the rules below describe.
-func (bk *Bank) handlePut(m *Msg) {
+func (bk *Bank) handlePut(tbe *dirTBE) {
 	bk.puts.Inc()
-	b := m.Block
-	r := m.From
+	b := tbe.block
+	r := tbe.reqFrom
 	entry := bk.dir.Probe(b)
 	line := bk.llc.Probe(b)
 
-	switch m.Type {
+	switch tbe.reqType {
 	case MsgPutS:
 		if entry != nil && entry.Overflowed {
 			// Limited-pointer overflow: the sharer set is inexact, so the
@@ -708,11 +922,11 @@ func (bk *Bank) handlePut(m *Msg) {
 			if line == nil {
 				panic(fmt.Sprintf("coherence: bank %d PutM for tracked block %#x with no LLC line", bk.id, uint64(b)))
 			}
-			line.Data = m.Data
+			line.Data = tbe.reqData
 			line.State = mem.Modified
 			bk.dir.Remove(b)
 		case entry == nil && line != nil && line.Flags&flagHidden != 0:
-			line.Data = m.Data
+			line.Data = tbe.reqData
 			line.State = mem.Modified
 			line.Flags &^= flagHidden
 			bk.hiddenCleared.Inc()
@@ -721,5 +935,5 @@ func (bk *Bank) handlePut(m *Msg) {
 			// line itself was evicted (which recalled us first). Drop it.
 		}
 	}
-	bk.sendCore(r, &Msg{Type: MsgPutAck, Block: b})
+	bk.sendCore(r, bk.fab.newMsg(MsgPutAck, b))
 }

@@ -1,0 +1,150 @@
+package coherence
+
+import "repro/internal/mem"
+
+// blockTable is a small open-addressed hash table keyed by mem.Block. The
+// controllers use it in place of Go maps for their per-block books (TBEs,
+// eviction buffers, invalidation reasons): linear probing over flat slices
+// keeps lookups branch-cheap and allocation-free, and once the table has
+// grown to cover the steady-state working set it never re-hashes again.
+//
+// Deletion uses backward-shift compaction (no tombstones), so the load
+// factor stays honest no matter how much churn the protocol produces.
+type blockTable[V any] struct {
+	keys  []mem.Block
+	vals  []V
+	used  []bool
+	n     int
+	shift uint // 64 - log2(len(keys)); fibonacci-hash bucket shift
+}
+
+// newBlockTable returns a table pre-sized so that `hint` live entries fit
+// below the grow threshold (3/4 load).
+func newBlockTable[V any](hint int) *blockTable[V] {
+	t := &blockTable[V]{}
+	size := 8
+	for size*3 < hint*4 {
+		size *= 2
+	}
+	t.alloc(size)
+	return t
+}
+
+func (t *blockTable[V]) alloc(size int) {
+	t.keys = make([]mem.Block, size)
+	t.vals = make([]V, size)
+	t.used = make([]bool, size)
+	t.shift = 64
+	for s := size; s > 1; s >>= 1 {
+		t.shift--
+	}
+}
+
+// home returns the preferred slot for block b.
+func (t *blockTable[V]) home(b mem.Block) int {
+	return int((uint64(b) * 0x9E3779B97F4A7C15) >> t.shift)
+}
+
+// len returns the number of live entries.
+func (t *blockTable[V]) len() int { return t.n }
+
+// get returns the value stored for b.
+func (t *blockTable[V]) get(b mem.Block) (V, bool) {
+	mask := len(t.keys) - 1
+	for i := t.home(b); t.used[i]; i = (i + 1) & mask {
+		if t.keys[i] == b {
+			return t.vals[i], true
+		}
+	}
+	var zero V
+	return zero, false
+}
+
+// has reports whether b is present.
+func (t *blockTable[V]) has(b mem.Block) bool {
+	mask := len(t.keys) - 1
+	for i := t.home(b); t.used[i]; i = (i + 1) & mask {
+		if t.keys[i] == b {
+			return true
+		}
+	}
+	return false
+}
+
+// put stores v for b, inserting or overwriting.
+func (t *blockTable[V]) put(b mem.Block, v V) {
+	if (t.n+1)*4 > len(t.keys)*3 {
+		t.grow()
+	}
+	mask := len(t.keys) - 1
+	i := t.home(b)
+	for t.used[i] {
+		if t.keys[i] == b {
+			t.vals[i] = v
+			return
+		}
+		i = (i + 1) & mask
+	}
+	t.keys[i] = b
+	t.vals[i] = v
+	t.used[i] = true
+	t.n++
+}
+
+// del removes b's entry, if present, compacting the probe chain so later
+// lookups stay correct without tombstones.
+func (t *blockTable[V]) del(b mem.Block) {
+	mask := len(t.keys) - 1
+	i := t.home(b)
+	for {
+		if !t.used[i] {
+			return
+		}
+		if t.keys[i] == b {
+			break
+		}
+		i = (i + 1) & mask
+	}
+	// Backward-shift: pull displaced entries into the hole while their home
+	// slot lies at or before it (cyclically).
+	j := i
+	for {
+		j = (j + 1) & mask
+		if !t.used[j] {
+			break
+		}
+		h := t.home(t.keys[j])
+		if (j-h)&mask >= (j-i)&mask {
+			t.keys[i] = t.keys[j]
+			t.vals[i] = t.vals[j]
+			i = j
+		}
+	}
+	var zero V
+	t.keys[i] = 0
+	t.vals[i] = zero
+	t.used[i] = false
+	t.n--
+}
+
+// grow doubles the table and re-inserts every entry.
+func (t *blockTable[V]) grow() {
+	keys, vals, used := t.keys, t.vals, t.used
+	t.alloc(2 * len(keys))
+	t.n = 0
+	for i, u := range used {
+		if u {
+			t.put(keys[i], vals[i])
+		}
+	}
+}
+
+// forEach visits every live entry in slot order (deterministic). The table
+// must not be mutated during iteration.
+func (t *blockTable[V]) forEach(fn func(mem.Block, V)) {
+	for i, u := range t.used {
+		if u {
+			fn(t.keys[i], t.vals[i])
+		}
+	}
+}

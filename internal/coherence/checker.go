@@ -22,6 +22,11 @@ type Checker struct {
 	nextVal    uint64
 	violations []string
 	maxRecord  int
+
+	// holders is Audit's scratch map (block -> core -> state), cleared and
+	// reused across audits so repeated end-of-run audits in long test
+	// sweeps do not rebuild it from nothing each time.
+	holders map[mem.Block]map[int]mem.State
 }
 
 // NewChecker returns an enabled checker.
@@ -36,6 +41,20 @@ func NewChecker() *Checker {
 // SetEnabled toggles checking; a disabled checker still issues store
 // stamps (data still flows) but skips load verification.
 func (c *Checker) SetEnabled(on bool) { c.enabled = on }
+
+// Enabled reports whether load verification (and the end-of-run audit) is
+// on.
+func (c *Checker) Enabled() bool { return c.enabled }
+
+// holdersScratch returns the audit's cleared residency scratch map.
+func (c *Checker) holdersScratch() map[mem.Block]map[int]mem.State {
+	if c.holders == nil {
+		c.holders = make(map[mem.Block]map[int]mem.State)
+	} else {
+		clear(c.holders)
+	}
+	return c.holders
+}
 
 // CommitStore returns the value the store to block b must write, and
 // records it as the block's current value. It must be called exactly when
@@ -103,7 +122,7 @@ func Audit(f *Fabric) []string {
 	// Gather private-hierarchy residency: block -> core -> state. With an
 	// L2 the outer level defines residency (the directory tracks it); the
 	// effective state is the L1's when the block is also in L1.
-	holders := make(map[mem.Block]map[int]mem.State)
+	holders := f.Checker.holdersScratch()
 	for _, l1 := range f.L1s {
 		record := func(b mem.Block, st mem.State) {
 			m, ok := holders[b]
@@ -130,18 +149,18 @@ func Audit(f *Fabric) []string {
 		} else {
 			l1.cache.ForEach(func(ln *cacheLine) { record(ln.Block, ln.State) })
 		}
-		for b := range l1.tbes {
+		l1.tbes.forEach(func(b mem.Block, _ *l1TBE) {
 			report("core %d has an unfinished transaction for block %#x", l1.id, uint64(b))
-		}
+		})
 		if len(l1.stalled) != 0 {
 			report("core %d has %d stalled accesses", l1.id, len(l1.stalled))
 		}
-		for b := range l1.evict {
+		l1.evict.forEach(func(b mem.Block, _ evictBuf) {
 			report("core %d has an unacknowledged eviction for block %#x", l1.id, uint64(b))
-		}
+		})
 	}
 	for _, bank := range f.Banks {
-		if n := len(bank.tbes); n != 0 {
+		if n := bank.tbes.len(); n != 0 {
 			report("bank %d has %d unfinished transactions", bank.id, n)
 		}
 	}

@@ -89,6 +89,33 @@ type Fabric struct {
 	// OnMessage, when set, observes every protocol message as it is sent.
 	// The protocoltrace example uses it to annotate runs.
 	OnMessage func(src, dst noc.NodeID, m *Msg)
+
+	// pool recycles protocol messages (see msgPool); the controllers also
+	// keep per-instance TBE free lists, so the steady-state protocol path
+	// touches the heap only while these pools warm up.
+	pool msgPool
+}
+
+// newMsg acquires a zeroed message from the fabric's pool.
+func (f *Fabric) newMsg(t MsgType, b mem.Block) *Msg {
+	m := f.pool.get()
+	m.Type = t
+	m.Block = b
+	return m
+}
+
+// releaseMsg returns a delivered message to the pool.
+func (f *Fabric) releaseMsg(m *Msg) { f.pool.put(m) }
+
+// SetPoolDebug toggles the message pool's poison mode: released messages
+// are stamped with garbage so any use-after-release fails loudly. Tests
+// only; poisoning does not change behavior of correct code.
+func (f *Fabric) SetPoolDebug(on bool) { f.pool.poison = on }
+
+// MsgPoolStats reports the message pool's live count and high-water mark,
+// letting tests bound the protocol's peak message population.
+func (f *Fabric) MsgPoolStats() (inUse, highWater int) {
+	return f.pool.inUse, f.pool.high
 }
 
 // tile is the per-node NoC endpoint; it routes bank-bound message types to
@@ -116,12 +143,12 @@ func (f *Fabric) HomeBank(b mem.Block) int {
 	return int(uint64(b) % uint64(len(f.Banks)))
 }
 
-// send transports m across the mesh.
+// send transports m across the mesh on a pooled envelope.
 func (f *Fabric) send(src, dst noc.NodeID, m *Msg) {
 	if f.OnMessage != nil {
 		f.OnMessage(src, dst, m)
 	}
-	f.Mesh.Send(&noc.Message{Src: src, Dst: dst, Class: m.class(), Flits: m.flits(), Payload: m})
+	f.Mesh.Post(src, dst, m.class(), m.flits(), m)
 }
 
 // sendToBank sends m from core-side node src to block's home bank.

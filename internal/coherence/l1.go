@@ -12,6 +12,13 @@ import (
 // cacheLine aliases cache.Line for brevity inside this package.
 type cacheLine = cache.Line
 
+// flagReserved marks an L1/L2 way claimed by an in-flight fill so victim
+// selection skips it. It lives in the line's Flags word (replacing the old
+// reserved-line maps); Install and Invalidate clear Flags, so the bit must
+// be set after an eviction and cleared explicitly when a fill lands on a
+// still-valid line.
+const flagReserved uint32 = 1 << 1
+
 // pendingAccess is an access the L1 could not service immediately: either
 // coalesced behind an outstanding miss to the same block (an MSHR hit) or
 // stalled because every way of its set is reserved.
@@ -20,7 +27,9 @@ type pendingAccess struct {
 	done   func()
 }
 
-// l1TBE tracks one outstanding demand miss (one MSHR).
+// l1TBE tracks one outstanding demand miss (one MSHR). TBEs are pooled:
+// the waiters slice keeps its capacity across reuses, so steady-state
+// coalescing does not allocate.
 type l1TBE struct {
 	block   mem.Block
 	write   bool
@@ -29,6 +38,7 @@ type l1TBE struct {
 	way     *cacheLine // reserved destination L1 way
 	l2way   *cacheLine // reserved destination L2 way (nil without an L2)
 	done    func()
+	access  mem.Access      // the triggering access (local L2 fills complete it)
 	issued  uint64          // cycle the miss was issued, for latency stats
 	waiters []pendingAccess // accesses coalesced behind this miss
 }
@@ -51,18 +61,26 @@ type L1 struct {
 	id  int
 	fab *Fabric
 
-	cache      *cache.Cache
-	l2         *cache.Cache // optional private L2, inclusive of the L1
-	tbes       map[mem.Block]*l1TBE
-	reserved   map[*cacheLine]bool // L1 ways claimed by in-flight fills
-	reservedL2 map[*cacheLine]bool // L2 ways claimed by in-flight fills
-	stalled    []pendingAccess     // accesses whose set had no usable way
-	evict      map[mem.Block]*evictBuf
+	cache   *cache.Cache
+	l2      *cache.Cache // optional private L2, inclusive of the L1
+	tbes    *blockTable[*l1TBE]
+	tbeFree []*l1TBE
+	stalled []pendingAccess // accesses whose set had no usable way
+	// stalledSpare is the second half of a double buffer: replays drain
+	// into it while fresh stalls append to a clean slice, so the retry
+	// sweep reuses both backing arrays instead of reallocating.
+	stalledSpare []pendingAccess
+	evict        *blockTable[evictBuf]
 
 	// invalidatedBy remembers blocks this L1 lost to conflict-induced
 	// invalidations, so a later miss on them can be classified as a
 	// coverage miss (the metric the stash directory attacks).
-	invalidatedBy map[mem.Block]InvReason
+	invalidatedBy *blockTable[InvReason]
+
+	// Long-lived callbacks (no per-event closures on the hot path).
+	requestFn func(any)               // sends the TBE's demand request
+	l2FillFn  func(any)               // completes a local L2-hit fill
+	skipFn    func(*cacheLine) bool   // victim-selection skip predicate
 
 	set            *stats.Set
 	loads          *stats.Counter
@@ -102,17 +120,34 @@ func NewL1(id int, fab *Fabric, cfg cache.Config, l2cfg *cache.Config) (*L1, err
 				id, l2.Capacity(), c.Capacity())
 		}
 	}
+	mshrs := fab.Params.MSHRs
+	if mshrs < 1 {
+		mshrs = 1
+	}
 	l1 := &L1{
 		id:            id,
 		fab:           fab,
 		cache:         c,
 		l2:            l2,
-		tbes:          make(map[mem.Block]*l1TBE),
-		reserved:      make(map[*cacheLine]bool),
-		reservedL2:    make(map[*cacheLine]bool),
-		evict:         make(map[mem.Block]*evictBuf),
-		invalidatedBy: make(map[mem.Block]InvReason),
+		tbes:          newBlockTable[*l1TBE](2 * (mshrs + 1)),
+		evict:         newBlockTable[evictBuf](8),
+		invalidatedBy: newBlockTable[InvReason](16),
 		set:           stats.NewSet(fmt.Sprintf("l1.%d", id)),
+	}
+	l1.requestFn = func(arg any) {
+		tbe := arg.(*l1TBE)
+		t := MsgGetS
+		if tbe.write {
+			t = MsgGetM
+		}
+		m := l1.fab.newMsg(t, tbe.block)
+		m.From = l1.id
+		m.HaveLine = tbe.upgrade
+		l1.send(m)
+	}
+	l1.l2FillFn = func(arg any) { l1.completeLocalFill(arg.(*l1TBE)) }
+	l1.skipFn = func(ln *cacheLine) bool {
+		return ln.Flags&flagReserved != 0 || (ln.Valid() && l1.tbes.has(ln.Block))
 	}
 	l1.loads = l1.set.Counter("loads")
 	l1.stores = l1.set.Counter("stores")
@@ -146,6 +181,31 @@ func (l *L1) L2() *cache.Cache { return l.l2 }
 
 func (l *L1) node() noc.NodeID { return noc.NodeID(l.id) }
 
+// newTBE claims a pooled TBE for block b and registers it.
+func (l *L1) newTBE(b mem.Block) *l1TBE {
+	var tbe *l1TBE
+	if n := len(l.tbeFree); n > 0 {
+		tbe = l.tbeFree[n-1]
+		l.tbeFree = l.tbeFree[:n-1]
+		w := tbe.waiters[:0]
+		*tbe = l1TBE{}
+		tbe.waiters = w
+	} else {
+		tbe = &l1TBE{}
+	}
+	tbe.block = b
+	tbe.issued = uint64(l.fab.Engine.Now())
+	l.tbes.put(b, tbe)
+	return tbe
+}
+
+// freeTBE returns a retired TBE to the pool. The caller must already have
+// removed it from the table and replayed its waiters.
+func (l *L1) freeTBE(tbe *l1TBE) {
+	tbe.done = nil
+	l.tbeFree = append(l.tbeFree, tbe)
+}
+
 // Access services one core memory reference and calls done when it
 // completes. The processor bounds how many accesses are outstanding (its
 // MSHR count); the L1 itself accepts any number, coalescing same-block
@@ -166,7 +226,7 @@ func (l *L1) Access(a mem.Access, done func()) {
 // loads/stores.
 func (l *L1) lookupAndService(a mem.Access, done func()) {
 	b := a.Block()
-	if tbe, ok := l.tbes[b]; ok {
+	if tbe, ok := l.tbes.get(b); ok {
 		// MSHR hit: ride the in-flight miss. (Even a load that could hit a
 		// Shared line under an upgrade coalesces, keeping the line's state
 		// transitions simple.)
@@ -201,22 +261,18 @@ func (l *L1) lookupAndService(a mem.Access, done func()) {
 					panic(fmt.Sprintf("coherence: core %d upgrading block %#x missing from L2", l.id, uint64(b)))
 				}
 			}
-			l.tbes[b] = &l1TBE{
-				block: b, write: true, upgrade: true, way: ln, l2way: l2way, done: done,
-				issued: uint64(l.fab.Engine.Now()),
-			}
-			l.fab.Engine.After(l.fab.Params.L1HitLatency, "l1.request", func() {
-				l.send(&Msg{Type: MsgGetM, Block: b, From: l.id, HaveLine: true})
-			})
+			tbe := l.newTBE(b)
+			tbe.write, tbe.upgrade = true, true
+			tbe.way, tbe.l2way = ln, l2way
+			tbe.done = done
+			l.fab.Engine.AfterArg(l.fab.Params.L1HitLatency, "l1.request", l.requestFn, tbe)
 			return
 		}
 	}
 
 	// L1 missed. The L1 victim may not be a way reserved by another fill
 	// or a line with its own transaction (an in-flight upgrade).
-	way := l.cache.Victim(b, func(ln *cacheLine) bool {
-		return l.reserved[ln] || (ln.Valid() && l.tbes[ln.Block] != nil)
-	})
+	way := l.cache.Victim(b, l.skipFn)
 	if way == nil {
 		// Every way of the set is spoken for; retry when a fill lands.
 		// (Not counted as a miss yet — the replay will classify it.)
@@ -242,15 +298,13 @@ func (l *L1) lookupAndService(a mem.Access, done func()) {
 				if way.Valid() {
 					l.foldIntoL2(way)
 				}
-				l.reserved[way] = true
-				tbe := &l1TBE{
-					block: b, write: a.Write, way: way, done: done,
-					issued: uint64(l.fab.Engine.Now()),
-				}
-				l.tbes[b] = tbe
-				l.fab.Engine.After(l.fab.Params.L2HitLatency, "l1.l2fill", func() {
-					l.completeLocalFill(tbe, a)
-				})
+				way.Flags |= flagReserved
+				tbe := l.newTBE(b)
+				tbe.write = a.Write
+				tbe.way = way
+				tbe.done = done
+				tbe.access = a
+				l.fab.Engine.AfterArg(l.fab.Params.L2HitLatency, "l1.l2fill", l.l2FillFn, tbe)
 				return
 			default:
 				// Shared in L2, store: upgrade through the directory.
@@ -260,22 +314,18 @@ func (l *L1) lookupAndService(a mem.Access, done func()) {
 				if way.Valid() {
 					l.foldIntoL2(way)
 				}
-				l.reserved[way] = true
-				l.tbes[b] = &l1TBE{
-					block: b, write: true, upgrade: true, way: way, l2way: l2ln, done: done,
-					issued: uint64(l.fab.Engine.Now()),
-				}
-				l.fab.Engine.After(l.fab.Params.L1HitLatency, "l1.request", func() {
-					l.send(&Msg{Type: MsgGetM, Block: b, From: l.id, HaveLine: true})
-				})
+				way.Flags |= flagReserved
+				tbe := l.newTBE(b)
+				tbe.write, tbe.upgrade = true, true
+				tbe.way, tbe.l2way = way, l2ln
+				tbe.done = done
+				l.fab.Engine.AfterArg(l.fab.Params.L1HitLatency, "l1.request", l.requestFn, tbe)
 				return
 			}
 		}
 		// Full miss: an L2 way is needed too.
 		l.l2Misses.Inc()
-		l2way = l.l2.Victim(b, func(ln *cacheLine) bool {
-			return l.reservedL2[ln] || (ln.Valid() && l.tbes[ln.Block] != nil)
-		})
+		l2way = l.l2.Victim(b, l.skipFn)
 		if l2way == nil {
 			l.stalls.Inc()
 			l.stalled = append(l.stalled, pendingAccess{access: a, done: done})
@@ -284,9 +334,9 @@ func (l *L1) lookupAndService(a mem.Access, done func()) {
 	}
 
 	l.misses.Inc()
-	if _, ok := l.invalidatedBy[b]; ok {
+	if _, ok := l.invalidatedBy.get(b); ok {
 		l.coverageMisses.Inc()
-		delete(l.invalidatedBy, b)
+		l.invalidatedBy.del(b)
 	}
 	if l.l2 != nil {
 		if way.Valid() {
@@ -295,28 +345,25 @@ func (l *L1) lookupAndService(a mem.Access, done func()) {
 		if l2way.Valid() {
 			l.evictL2Line(l2way)
 		}
-		l.reservedL2[l2way] = true
+		l2way.Flags |= flagReserved
 	} else if way.Valid() {
 		l.evictLine(way)
 	}
-	t := MsgGetS
-	if a.Write {
-		t = MsgGetM
-	}
-	l.reserved[way] = true
-	l.tbes[b] = &l1TBE{
-		block: b, write: a.Write, way: way, l2way: l2way, done: done,
-		issued: uint64(l.fab.Engine.Now()),
-	}
-	l.request(t, b)
+	way.Flags |= flagReserved
+	tbe := l.newTBE(b)
+	tbe.write = a.Write
+	tbe.way, tbe.l2way = way, l2way
+	tbe.done = done
+	l.fab.Engine.AfterArg(l.fab.Params.L1HitLatency, "l1.request", l.requestFn, tbe)
 }
 
 // completeLocalFill finishes an L2-hit fill: install into the reserved L1
 // way unless a snoop raced the fill away (then the access replays as a
 // fresh lookup), and replay anything that piled up behind it.
-func (l *L1) completeLocalFill(tbe *l1TBE, a mem.Access) {
-	delete(l.tbes, tbe.block)
-	delete(l.reserved, tbe.way)
+func (l *L1) completeLocalFill(tbe *l1TBE) {
+	a := tbe.access
+	l.tbes.del(tbe.block)
+	tbe.way.Flags &^= flagReserved
 	cur := l.l2.Probe(tbe.block)
 	if cur == nil || (a.Write && cur.State != mem.Modified) {
 		l.lookupAndService(a, tbe.done)
@@ -331,13 +378,22 @@ func (l *L1) completeLocalFill(tbe *l1TBE, a mem.Access) {
 	for _, w := range tbe.waiters {
 		l.lookupAndService(w.access, w.done)
 	}
-	if len(l.stalled) > 0 {
-		stalled := l.stalled
-		l.stalled = nil
-		for _, w := range stalled {
-			l.lookupAndService(w.access, w.done)
-		}
+	l.replayStalled()
+	l.freeTBE(tbe)
+}
+
+// replayStalled retries accesses that stalled on fully-reserved sets. The
+// drained batch and the fresh stall list double-buffer each other.
+func (l *L1) replayStalled() {
+	if len(l.stalled) == 0 {
+		return
 	}
+	stalled := l.stalled
+	l.stalled = l.stalledSpare[:0]
+	for _, w := range stalled {
+		l.lookupAndService(w.access, w.done)
+	}
+	l.stalledSpare = stalled[:0]
 }
 
 // foldIntoL2 retires an L1 victim into the (inclusive) L2: dirty data and
@@ -372,17 +428,24 @@ func (l *L1) evictL2Line(l2ln *cacheLine) {
 	switch state {
 	case mem.Modified:
 		l.writebacks.Inc()
-		l.evict[b] = &evictBuf{data: data, dirty: true}
-		l.send(&Msg{Type: MsgPutM, Block: b, From: l.id, Data: data, HasData: true, Dirty: true})
+		l.evict.put(b, evictBuf{data: data, dirty: true})
+		wb := l.fab.newMsg(MsgPutM, b)
+		wb.From = l.id
+		wb.Data, wb.HasData, wb.Dirty = data, true, true
+		l.send(wb)
 	case mem.Exclusive:
 		if !l.fab.Params.SilentCleanEvictions {
-			l.evict[b] = &evictBuf{data: data}
-			l.send(&Msg{Type: MsgPutE, Block: b, From: l.id})
+			l.evict.put(b, evictBuf{data: data})
+			wb := l.fab.newMsg(MsgPutE, b)
+			wb.From = l.id
+			l.send(wb)
 		}
 	case mem.Shared:
 		if !l.fab.Params.SilentCleanEvictions {
-			l.evict[b] = &evictBuf{data: data}
-			l.send(&Msg{Type: MsgPutS, Block: b, From: l.id})
+			l.evict.put(b, evictBuf{data: data})
+			wb := l.fab.newMsg(MsgPutS, b)
+			wb.From = l.id
+			l.send(wb)
 		}
 	}
 	l.l2.Evict(l2ln)
@@ -412,32 +475,34 @@ func (l *L1) evictLine(ln *cacheLine) {
 	switch ln.State {
 	case mem.Modified:
 		l.writebacks.Inc()
-		l.evict[b] = &evictBuf{data: ln.Data, dirty: true}
-		l.send(&Msg{Type: MsgPutM, Block: b, From: l.id, Data: ln.Data, HasData: true, Dirty: true})
+		l.evict.put(b, evictBuf{data: ln.Data, dirty: true})
+		wb := l.fab.newMsg(MsgPutM, b)
+		wb.From = l.id
+		wb.Data, wb.HasData, wb.Dirty = ln.Data, true, true
+		l.send(wb)
 	case mem.Exclusive:
 		if !l.fab.Params.SilentCleanEvictions {
-			l.evict[b] = &evictBuf{data: ln.Data}
-			l.send(&Msg{Type: MsgPutE, Block: b, From: l.id})
+			l.evict.put(b, evictBuf{data: ln.Data})
+			wb := l.fab.newMsg(MsgPutE, b)
+			wb.From = l.id
+			l.send(wb)
 		}
 	case mem.Shared:
 		if !l.fab.Params.SilentCleanEvictions {
-			l.evict[b] = &evictBuf{data: ln.Data}
-			l.send(&Msg{Type: MsgPutS, Block: b, From: l.id})
+			l.evict.put(b, evictBuf{data: ln.Data})
+			wb := l.fab.newMsg(MsgPutS, b)
+			wb.From = l.id
+			l.send(wb)
 		}
 	}
 	l.cache.Evict(ln)
 }
 
-// request issues a demand request after the L1 tag-access latency.
-func (l *L1) request(t MsgType, b mem.Block) {
-	l.fab.Engine.After(l.fab.Params.L1HitLatency, "l1.request", func() {
-		l.send(&Msg{Type: t, Block: b, From: l.id})
-	})
-}
-
 func (l *L1) send(m *Msg) { l.fab.sendToBank(l.node(), m) }
 
-// deliver handles a message from the network.
+// deliver handles a message from the network. The L1 is the final receiver
+// of everything routed here, so the message returns to the pool when the
+// handler is done with it.
 func (l *L1) deliver(m *Msg) {
 	switch m.Type {
 	case MsgDataS, MsgDataE, MsgDataM:
@@ -453,10 +518,11 @@ func (l *L1) deliver(m *Msg) {
 	case MsgFwdGetM:
 		l.onFwdGetM(m)
 	case MsgPutAck:
-		delete(l.evict, m.Block)
+		l.evict.del(m.Block)
 	default:
 		panic(fmt.Sprintf("coherence: L1 %d cannot handle %v", l.id, m))
 	}
+	l.fab.releaseMsg(m)
 }
 
 // onFwdGetS (three-hop mode) downgrades an owned copy, sends the data
@@ -464,25 +530,30 @@ func (l *L1) deliver(m *Msg) {
 // copy is gone (and not even in the eviction buffer), the bank serves the
 // requester itself.
 func (l *L1) onFwdGetS(m *Msg) {
-	resp := &Msg{Type: MsgFetchResp, Block: m.Block, From: l.id}
+	resp := l.fab.newMsg(MsgFetchResp, m.Block)
+	resp.From = l.id
 	if l1ln, l2ln := l.probeHier(m.Block); l1ln != nil || l2ln != nil {
 		grantData := hierData(l1ln, l2ln)
 		if data, dirty := hierDirty(l1ln, l2ln); dirty {
 			resp.Data, resp.HasData, resp.Dirty = data, true, true
 			grantData = data
 		}
-		grant := &Msg{Type: MsgDataS, Block: m.Block, From: l.id, Data: grantData, HasData: true}
+		grant := l.fab.newMsg(MsgDataS, m.Block)
+		grant.From = l.id
+		grant.Data, grant.HasData = grantData, true
 		downgradeHier(l1ln, l2ln)
 		resp.Retained = true
 		resp.Forwarded = true
 		l.fab.sendToCore(l.node(), m.Requester, grant)
-	} else if buf, ok := l.evict[m.Block]; ok {
+	} else if buf, ok := l.evict.get(m.Block); ok {
 		if buf.dirty {
 			resp.Data, resp.HasData, resp.Dirty = buf.data, true, true
 		}
 		resp.Forwarded = true
-		l.fab.sendToCore(l.node(), m.Requester,
-			&Msg{Type: MsgDataS, Block: m.Block, From: l.id, Data: buf.data, HasData: true})
+		grant := l.fab.newMsg(MsgDataS, m.Block)
+		grant.From = l.id
+		grant.Data, grant.HasData = buf.data, true
+		l.fab.sendToCore(l.node(), m.Requester, grant)
 	}
 	l.send(resp)
 }
@@ -490,7 +561,8 @@ func (l *L1) onFwdGetS(m *Msg) {
 // onFwdGetM (three-hop mode) invalidates an owned copy and forwards a
 // writable grant to the requester.
 func (l *L1) onFwdGetM(m *Msg) {
-	resp := &Msg{Type: MsgInvAck, Block: m.Block, From: l.id}
+	resp := l.fab.newMsg(MsgInvAck, m.Block)
+	resp.From = l.id
 	if l1ln, l2ln := l.probeHier(m.Block); l1ln != nil || l2ln != nil {
 		l.invsByReason[ReasonDemand].Inc()
 		grantData := hierData(l1ln, l2ln)
@@ -499,17 +571,21 @@ func (l *L1) onFwdGetM(m *Msg) {
 			grantData = data
 		}
 		resp.Forwarded = true
-		l.fab.sendToCore(l.node(), m.Requester,
-			&Msg{Type: MsgDataM, Block: m.Block, From: l.id, Data: grantData, HasData: true})
-		l.markUpgradeInvalidated(m.Block)
+		grant := l.fab.newMsg(MsgDataM, m.Block)
+		grant.From = l.id
+		grant.Data, grant.HasData = grantData, true
+		l.fab.sendToCore(l.node(), m.Requester, grant)
 		l.invalidateHier(l1ln, l2ln)
-	} else if buf, ok := l.evict[m.Block]; ok {
+		l.markUpgradeInvalidated(m.Block)
+	} else if buf, ok := l.evict.get(m.Block); ok {
 		if buf.dirty {
 			resp.Data, resp.HasData, resp.Dirty = buf.data, true, true
 		}
 		resp.Forwarded = true
-		l.fab.sendToCore(l.node(), m.Requester,
-			&Msg{Type: MsgDataM, Block: m.Block, From: l.id, Data: buf.data, HasData: true})
+		grant := l.fab.newMsg(MsgDataM, m.Block)
+		grant.From = l.id
+		grant.Data, grant.HasData = buf.data, true
+		l.fab.sendToCore(l.node(), m.Requester, grant)
 	}
 	l.send(resp)
 }
@@ -517,12 +593,12 @@ func (l *L1) onFwdGetM(m *Msg) {
 // onData completes an outstanding miss, then replays any accesses that
 // coalesced behind it or stalled on a full set.
 func (l *L1) onData(m *Msg) {
-	tbe, ok := l.tbes[m.Block]
+	tbe, ok := l.tbes.get(m.Block)
 	if !ok {
 		panic(fmt.Sprintf("coherence: core %d got %v with no matching transaction", l.id, m))
 	}
-	delete(l.tbes, m.Block)
-	delete(l.reserved, tbe.way)
+	l.tbes.del(m.Block)
+	tbe.way.Flags &^= flagReserved
 
 	var st mem.State
 	switch m.Type {
@@ -537,7 +613,7 @@ func (l *L1) onData(m *Msg) {
 	// Fill the L2 level first (the directory tracks it).
 	if l.l2 != nil {
 		l2ln := tbe.l2way
-		delete(l.reservedL2, l2ln)
+		l2ln.Flags &^= flagReserved
 		st2 := mem.Shared
 		switch m.Type {
 		case MsgDataE:
@@ -604,7 +680,9 @@ func (l *L1) onData(m *Msg) {
 	if m.From >= 0 {
 		// The grant was forwarded by the previous owner: tell the home
 		// bank it landed so it may open the block's next transaction.
-		l.send(&Msg{Type: MsgUnblock, Block: m.Block, From: l.id})
+		ub := l.fab.newMsg(MsgUnblock, m.Block)
+		ub.From = l.id
+		l.send(ub)
 	}
 
 	l.missLatency.Observe(int64(uint64(l.fab.Engine.Now()) - tbe.issued))
@@ -625,13 +703,8 @@ func (l *L1) onData(m *Msg) {
 	}
 	// Retry accesses that stalled on fully-reserved sets; the fill may have
 	// freed a way (possibly in another set — retrying all is harmless).
-	if len(l.stalled) > 0 {
-		stalled := l.stalled
-		l.stalled = nil
-		for _, w := range stalled {
-			l.lookupAndService(w.access, w.done)
-		}
-	}
+	l.replayStalled()
+	l.freeTBE(tbe)
 }
 
 // probeHier returns the hierarchy's copy of b: the L1 line and (when an L2
@@ -689,14 +762,15 @@ func downgradeHier(l1ln, l2ln *cacheLine) {
 	}
 }
 
-// markUpgradeInvalidated flags an in-flight upgrade whose copy a snoop is
-// about to kill, keeping its fill targets reserved.
+// markUpgradeInvalidated flags an in-flight upgrade whose copy a snoop just
+// killed, keeping its fill targets reserved. Because invalidation clears
+// the line's Flags word, callers invalidate first and mark afterwards.
 func (l *L1) markUpgradeInvalidated(b mem.Block) {
-	if tbe, ok := l.tbes[b]; ok && tbe.upgrade {
+	if tbe, ok := l.tbes.get(b); ok && tbe.upgrade {
 		tbe.sawInv = true
-		l.reserved[tbe.way] = true
+		tbe.way.Flags |= flagReserved
 		if tbe.l2way != nil {
-			l.reservedL2[tbe.l2way] = true
+			tbe.l2way.Flags |= flagReserved
 		}
 	}
 }
@@ -704,19 +778,20 @@ func (l *L1) markUpgradeInvalidated(b mem.Block) {
 // onInv invalidates a copy (or records that there is nothing to
 // invalidate) and always acknowledges immediately.
 func (l *L1) onInv(m *Msg) {
-	ack := &Msg{Type: MsgInvAck, Block: m.Block, From: l.id}
+	ack := l.fab.newMsg(MsgInvAck, m.Block)
+	ack.From = l.id
 	l1ln, l2ln := l.probeHier(m.Block)
 	if l1ln != nil || l2ln != nil {
 		l.invsByReason[m.Reason].Inc()
 		if m.Reason != ReasonDemand {
-			l.invalidatedBy[m.Block] = m.Reason
+			l.invalidatedBy.put(m.Block, m.Reason)
 		}
 		if data, dirty := hierDirty(l1ln, l2ln); dirty {
 			ack.Data, ack.HasData, ack.Dirty = data, true, true
 		}
-		l.markUpgradeInvalidated(m.Block)
 		l.invalidateHier(l1ln, l2ln)
-	} else if buf, ok := l.evict[m.Block]; ok {
+		l.markUpgradeInvalidated(m.Block)
+	} else if buf, ok := l.evict.get(m.Block); ok {
 		// The line is on its way out; answer from the eviction buffer.
 		l.invsByReason[m.Reason].Inc()
 		if buf.dirty {
@@ -731,7 +806,8 @@ func (l *L1) onInv(m *Msg) {
 // onFetch downgrades an owned copy to Shared and returns its data (when
 // dirty). Retained=false tells the bank the copy is already gone.
 func (l *L1) onFetch(m *Msg) {
-	resp := &Msg{Type: MsgFetchResp, Block: m.Block, From: l.id}
+	resp := l.fab.newMsg(MsgFetchResp, m.Block)
+	resp.From = l.id
 	l1ln, l2ln := l.probeHier(m.Block)
 	if l1ln != nil || l2ln != nil {
 		if data, dirty := hierDirty(l1ln, l2ln); dirty {
@@ -739,7 +815,7 @@ func (l *L1) onFetch(m *Msg) {
 		}
 		downgradeHier(l1ln, l2ln)
 		resp.Retained = true
-	} else if buf, ok := l.evict[m.Block]; ok {
+	} else if buf, ok := l.evict.get(m.Block); ok {
 		if buf.dirty {
 			resp.Data, resp.HasData, resp.Dirty = buf.data, true, true
 		}
@@ -751,7 +827,8 @@ func (l *L1) onFetch(m *Msg) {
 // action (downgrade or invalidate) to a found copy.
 func (l *L1) onDiscover(m *Msg) {
 	l.discoverProbes.Inc()
-	resp := &Msg{Type: MsgDiscoverResp, Block: m.Block, From: l.id}
+	resp := l.fab.newMsg(MsgDiscoverResp, m.Block)
+	resp.From = l.id
 	if l1ln, l2ln := l.probeHier(m.Block); l1ln != nil || l2ln != nil {
 		l.discoverHits.Inc()
 		resp.Found = true
@@ -763,13 +840,13 @@ func (l *L1) onDiscover(m *Msg) {
 			downgradeHier(l1ln, l2ln)
 			resp.Retained = true
 		case DiscoverInvalidate:
-			l.markUpgradeInvalidated(m.Block)
 			if m.Reason != ReasonDemand {
-				l.invalidatedBy[m.Block] = m.Reason
+				l.invalidatedBy.put(m.Block, m.Reason)
 			}
 			l.invalidateHier(l1ln, l2ln)
+			l.markUpgradeInvalidated(m.Block)
 		}
-	} else if buf, ok := l.evict[m.Block]; ok {
+	} else if buf, ok := l.evict.get(m.Block); ok {
 		// A hidden block caught mid-writeback: report its data but no
 		// retained copy.
 		l.discoverHits.Inc()

@@ -180,6 +180,64 @@ type Msg struct {
 	// an in-place upgrade. The bank still sends data when its entry shows
 	// the copy did not survive.
 	HaveLine bool
+
+	// next chains queued requests behind a busy bank transaction (the TBE
+	// owns the chain head), replacing the per-block queue map.
+	next *Msg
+	// free marks a message currently parked in its pool, to catch
+	// double-release bugs.
+	free bool
+}
+
+// msgPool recycles Msg values. Every simulation is single-goroutine, so
+// the pool is a plain free-list stack; the steady-state protocol path
+// allocates no messages at all once the pool has warmed up.
+//
+// Ownership discipline: the sender acquires, the final receiver releases —
+// at the end of its deliver handler, or when a queued request is dequeued
+// and its fields copied into the transaction's TBE.
+type msgPool struct {
+	freeList []*Msg
+	inUse    int
+	high     int // high-water mark of simultaneously live messages
+	poison   bool
+}
+
+// get returns a zeroed message.
+func (p *msgPool) get() *Msg {
+	p.inUse++
+	if p.inUse > p.high {
+		p.high = p.inUse
+	}
+	n := len(p.freeList)
+	if n == 0 {
+		return &Msg{}
+	}
+	m := p.freeList[n-1]
+	p.freeList = p.freeList[:n-1]
+	*m = Msg{}
+	return m
+}
+
+// put releases a message back to the pool. With poison mode on (the
+// property tests enable it) the payload is stamped with garbage so any
+// use-after-release trips a protocol panic instead of silently reading
+// stale fields.
+func (p *msgPool) put(m *Msg) {
+	if m.free {
+		panic("coherence: message released twice")
+	}
+	m.free = true
+	m.next = nil
+	if p.poison {
+		m.Type = MsgType(0xEE)
+		m.Block = mem.Block(0xDEADBEEFDEADBEEF)
+		m.From = -0x7FFF
+		m.Data = 0xEEEEEEEEEEEEEEEE
+		m.Requester = -0x7FFF
+	}
+	p.inUse--
+	p.freeList = append(p.freeList, m)
 }
 
 // flits returns the network size of the message: one control flit, plus
@@ -192,24 +250,35 @@ func (m *Msg) flits() int {
 	return 1
 }
 
+// msgClass maps each message type onto its NoC traffic class; a flat
+// indexed array keeps the per-send classification branch-free, the same
+// way the mesh indexes its per-class counters.
+var msgClass = [MsgUnblock + 1]noc.Class{
+	MsgGetS:         noc.ClassRequest,
+	MsgGetM:         noc.ClassRequest,
+	MsgPutS:         noc.ClassWriteback,
+	MsgPutE:         noc.ClassWriteback,
+	MsgPutM:         noc.ClassWriteback,
+	MsgDataS:        noc.ClassResponse,
+	MsgDataE:        noc.ClassResponse,
+	MsgDataM:        noc.ClassResponse,
+	MsgInv:          noc.ClassInvalidation,
+	MsgFetch:        noc.ClassInvalidation,
+	MsgPutAck:       noc.ClassAck,
+	MsgInvAck:       noc.ClassAck,
+	MsgFetchResp:    noc.ClassAck,
+	MsgDiscover:     noc.ClassDiscovery,
+	MsgDiscoverResp: noc.ClassDiscoveryResp,
+	MsgFwdGetS:      noc.ClassInvalidation,
+	MsgFwdGetM:      noc.ClassInvalidation,
+	MsgUnblock:      noc.ClassAck,
+}
+
 // class maps the message onto a NoC traffic class for the traffic-breakdown
 // accounting.
 func (m *Msg) class() noc.Class {
-	switch m.Type {
-	case MsgGetS, MsgGetM:
-		return noc.ClassRequest
-	case MsgDataS, MsgDataE, MsgDataM:
-		return noc.ClassResponse
-	case MsgInv, MsgFetch, MsgFwdGetS, MsgFwdGetM:
-		return noc.ClassInvalidation
-	case MsgInvAck, MsgFetchResp, MsgPutAck, MsgUnblock:
-		return noc.ClassAck
-	case MsgPutS, MsgPutE, MsgPutM:
-		return noc.ClassWriteback
-	case MsgDiscover:
-		return noc.ClassDiscovery
-	case MsgDiscoverResp:
-		return noc.ClassDiscoveryResp
+	if int(m.Type) < len(msgClass) {
+		return msgClass[m.Type]
 	}
 	return noc.ClassRequest
 }

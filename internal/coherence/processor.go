@@ -46,6 +46,12 @@ type Processor struct {
 	issuing     bool // an issue event is already scheduled
 	finished    bool
 
+	// issueFn and doneFn are bound once at construction: every issue event
+	// and access-completion callback reuses them, so the core's issue loop
+	// allocates nothing per access.
+	issueFn func()
+	doneFn  func()
+
 	set       *stats.Set
 	completed *stats.Counter
 	doneAt    uint64
@@ -62,6 +68,13 @@ func newProcessor(id int, fab *Fabric, l1 *L1, src AccessSource) *Processor {
 		set: stats.NewSet(fmt.Sprintf("core.%d", id)),
 	}
 	p.completed = p.set.Counter("accesses_completed")
+	p.issueFn = p.issue
+	p.doneFn = func() {
+		p.outstanding--
+		p.completed.Inc()
+		p.maybeFinish()
+		p.pump()
+	}
 	return p
 }
 
@@ -91,26 +104,24 @@ func (p *Processor) pump() {
 		return
 	}
 	p.issuing = true
-	p.fab.Engine.After(p.fab.Params.ThinkTime, "core.issue", func() {
-		p.issuing = false
-		if p.exhausted || p.outstanding >= p.mshrs {
-			return
-		}
-		a, ok := p.src.Next()
-		if !ok {
-			p.exhausted = true
-			p.maybeFinish()
-			return
-		}
-		p.outstanding++
-		p.l1.Access(a, func() {
-			p.outstanding--
-			p.completed.Inc()
-			p.maybeFinish()
-			p.pump()
-		})
-		p.pump()
-	})
+	p.fab.Engine.After(p.fab.Params.ThinkTime, "core.issue", p.issueFn)
+}
+
+// issue is the core.issue event body.
+func (p *Processor) issue() {
+	p.issuing = false
+	if p.exhausted || p.outstanding >= p.mshrs {
+		return
+	}
+	a, ok := p.src.Next()
+	if !ok {
+		p.exhausted = true
+		p.maybeFinish()
+		return
+	}
+	p.outstanding++
+	p.l1.Access(a, p.doneFn)
+	p.pump()
 }
 
 func (p *Processor) maybeFinish() {

@@ -40,6 +40,15 @@ type assocStore struct {
 	entries []Entry
 	policy  cache.Policy
 	mask    mem.Block
+
+	// victimFn adapts the victim-selection predicates to the policy's
+	// way-indexed callback. Bound once at construction and parameterized
+	// through the fields below, so victim() allocates no closure per call.
+	victimFn       func(way int) bool
+	victimSet      int
+	victimBusy     func(mem.Block) bool
+	victimPrefOnly bool
+	victimPrefer   func(*Entry) bool
 }
 
 func newAssocStore(cfg AssocConfig) (*assocStore, error) {
@@ -59,6 +68,16 @@ func newAssocStore(cfg AssocConfig) (*assocStore, error) {
 	for i := range s.entries {
 		s.entries[i].set = int32(i / cfg.Ways)
 		s.entries[i].way = int32(i % cfg.Ways)
+	}
+	s.victimFn = func(way int) bool {
+		e := s.entry(s.victimSet, way)
+		if s.victimBusy != nil && s.victimBusy(e.Block) {
+			return true
+		}
+		if s.victimPrefOnly && s.victimPrefer != nil && !s.victimPrefer(e) {
+			return true
+		}
+		return false
 	}
 	return s, nil
 }
@@ -116,21 +135,14 @@ func (s *assocStore) install(e *Entry, b mem.Block) {
 }
 
 // victim picks the replacement victim in b's set subject to two exclusion
-// predicates: excluded (hard: in-flight transactions) and prefer (soft:
-// when preferOnly is true, only entries satisfying prefer are candidates).
-// It returns nil when no candidate survives.
-func (s *assocStore) victim(b mem.Block, excluded func(*Entry) bool, preferOnly bool, prefer func(*Entry) bool) *Entry {
+// predicates: busy (hard: blocks with in-flight transactions) and prefer
+// (soft: when preferOnly is true, only entries satisfying prefer are
+// candidates). It returns nil when no candidate survives.
+func (s *assocStore) victim(b mem.Block, busy func(mem.Block) bool, preferOnly bool, prefer func(*Entry) bool) *Entry {
 	set := s.setIndex(b)
-	w := s.policy.Victim(set, func(way int) bool {
-		e := s.entry(set, way)
-		if excluded != nil && excluded(e) {
-			return true
-		}
-		if preferOnly && prefer != nil && !prefer(e) {
-			return true
-		}
-		return false
-	})
+	s.victimSet, s.victimBusy, s.victimPrefOnly, s.victimPrefer = set, busy, preferOnly, prefer
+	w := s.policy.Victim(set, s.victimFn)
+	s.victimBusy, s.victimPrefer = nil, nil
 	if w < 0 {
 		return nil
 	}

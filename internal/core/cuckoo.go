@@ -47,6 +47,11 @@ type Cuckoo struct {
 	maxPath int
 	seeds   []uint64
 	st      *dirStats
+
+	// Relocation-search scratch, reused across Allocate calls so conflict
+	// handling does not rebuild its frontier and visited set from nothing.
+	frontier []cuckooNode
+	visited  map[*Entry]bool
 }
 
 var _ Directory = (*Cuckoo)(nil)
@@ -144,13 +149,16 @@ func (d *Cuckoo) Allocate(b mem.Block, busy func(mem.Block) bool) AllocResult {
 		}
 	}
 
-	isBusy := func(e *Entry) bool { return busy != nil && busy(e.Block) }
-
 	// Breadth-first search for a relocation path: nodes are slots, an edge
 	// goes from a slot to the alternative slots of its occupant. Busy
 	// occupants are immovable.
-	var frontier []cuckooNode
-	visited := map[*Entry]bool{}
+	frontier := d.frontier[:0]
+	if d.visited == nil {
+		d.visited = make(map[*Entry]bool)
+	} else {
+		clear(d.visited)
+	}
+	visited := d.visited
 	for w := 0; w < d.cfg.Ways; w++ {
 		s := d.slotFor(w, b)
 		if !visited[s] {
@@ -170,11 +178,12 @@ func (d *Cuckoo) Allocate(b mem.Block, busy func(mem.Block) bool) AllocResult {
 				root = frontier[root].parent
 			}
 			e := frontier[root].slot
+			d.frontier = frontier
 			e.reset(b)
 			d.st.allocs.Inc()
 			return AllocResult{Outcome: AllocOK, Entry: e}
 		}
-		if isBusy(occ) {
+		if busy != nil && busy(occ.Block) {
 			continue // immovable
 		}
 		for w := 0; w < d.cfg.Ways; w++ {
@@ -187,11 +196,13 @@ func (d *Cuckoo) Allocate(b mem.Block, busy func(mem.Block) bool) AllocResult {
 		}
 	}
 
+	d.frontier = frontier
+
 	// No path: recall one of b's candidate occupants (LRU is meaningless
 	// here; pick the first non-busy candidate deterministically).
 	for w := 0; w < d.cfg.Ways; w++ {
 		e := d.slotFor(w, b)
-		if !isBusy(e) {
+		if busy == nil || !busy(e.Block) {
 			d.st.recalls.Inc()
 			return AllocResult{Outcome: AllocNeedsRecall, Victim: e}
 		}

@@ -59,8 +59,7 @@ func (d *Sparse) Allocate(b mem.Block, busy func(mem.Block) bool) AllocResult {
 		d.st.allocs.Inc()
 		return AllocResult{Outcome: AllocOK, Entry: e}
 	}
-	excluded := func(e *Entry) bool { return busy != nil && busy(e.Block) }
-	v := d.store.victim(b, excluded, false, nil)
+	v := d.store.victim(b, busy, false, nil)
 	if v == nil {
 		d.st.blocked.Inc()
 		return AllocResult{Outcome: AllocBlocked}

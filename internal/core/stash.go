@@ -33,6 +33,9 @@ type Stash struct {
 	cfg   StashConfig
 	store *assocStore
 	st    *dirStats
+	// stashableFn is the Stashable method bound once, so Allocate does not
+	// materialize a method value per call.
+	stashableFn func(*Entry) bool
 }
 
 var _ Directory = (*Stash)(nil)
@@ -43,7 +46,9 @@ func NewStash(cfg StashConfig) (*Stash, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Stash{cfg: cfg, store: store, st: newDirStats("dir.stash")}, nil
+	d := &Stash{cfg: cfg, store: store, st: newDirStats("dir.stash")}
+	d.stashableFn = d.Stashable
+	return d, nil
 }
 
 // Name implements Directory.
@@ -90,10 +95,8 @@ func (d *Stash) Allocate(b mem.Block, busy func(mem.Block) bool) AllocResult {
 		d.st.allocs.Inc()
 		return AllocResult{Outcome: AllocOK, Entry: e}
 	}
-	excluded := func(e *Entry) bool { return busy != nil && busy(e.Block) }
-
 	// First choice: silently drop a stashable (private) victim.
-	if v := d.store.victim(b, excluded, true, d.Stashable); v != nil {
+	if v := d.store.victim(b, busy, true, d.stashableFn); v != nil {
 		stashed := Stashed{Block: v.Block, Owner: v.Sharers.Only()}
 		v.valid = false
 		v.Sharers = 0
@@ -105,7 +108,7 @@ func (d *Stash) Allocate(b mem.Block, busy func(mem.Block) bool) AllocResult {
 	}
 
 	// Fall back to a conventional back-invalidating eviction.
-	v := d.store.victim(b, excluded, false, nil)
+	v := d.store.victim(b, busy, false, nil)
 	if v == nil {
 		d.st.blocked.Inc()
 		return AllocResult{Outcome: AllocBlocked}

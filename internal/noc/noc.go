@@ -68,6 +68,11 @@ type Message struct {
 	Class    Class
 	Flits    int
 	Payload  any
+
+	// pooled marks a message acquired through Post; the mesh recycles it
+	// after delivery. Caller-built messages passed to Send are never
+	// recycled.
+	pooled bool
 }
 
 // Endpoint receives messages delivered to a node.
@@ -111,6 +116,12 @@ type Mesh struct {
 	flitHops  [NumClasses]*stats.Counter
 	latency   *stats.Histogram
 	delivered *stats.Counter
+
+	// free recycles Post-acquired messages; deliverFn is the single
+	// long-lived delivery callback shared by every in-flight message, so a
+	// send schedules its delivery event without allocating a closure.
+	free      []*Message
+	deliverFn func(any)
 }
 
 // New builds a mesh attached to the given engine.
@@ -137,6 +148,15 @@ func New(engine *sim.Engine, cfg Config) (*Mesh, error) {
 	}
 	m.latency = m.set.Histogram("latency")
 	m.delivered = m.set.Counter("delivered")
+	m.deliverFn = func(arg any) {
+		msg := arg.(*Message)
+		m.delivered.Inc()
+		m.endpoints[msg.Dst].Deliver(msg)
+		if msg.pooled {
+			msg.Payload = nil
+			m.free = append(m.free, msg)
+		}
+	}
 	return m, nil
 }
 
@@ -236,16 +256,27 @@ func (m *Mesh) Send(msg *Message) sim.Cycle {
 		m.flitHops[msg.Class].Add(int64(msg.Flits * hops))
 	}
 
-	ep := m.endpoints[msg.Dst]
-	if ep == nil {
+	if m.endpoints[msg.Dst] == nil {
 		panic(fmt.Sprintf("noc: no endpoint attached to node %d", msg.Dst))
 	}
 	m.latency.Observe(int64(t - now))
-	m.engine.At(t, "noc.deliver", func() {
-		m.delivered.Inc()
-		ep.Deliver(msg)
-	})
+	m.engine.AtArg(t, "noc.deliver", m.deliverFn, msg)
 	return t
+}
+
+// Post sends a pooled message: the transfer envelope is recycled after
+// delivery, so the steady-state send path performs no allocation. The
+// payload's lifetime is the receiver's concern, exactly as with Send.
+func (m *Mesh) Post(src, dst NodeID, class Class, flits int, payload any) sim.Cycle {
+	var msg *Message
+	if n := len(m.free); n > 0 {
+		msg = m.free[n-1]
+		m.free = m.free[:n-1]
+	} else {
+		msg = &Message{pooled: true}
+	}
+	msg.Src, msg.Dst, msg.Class, msg.Flits, msg.Payload = src, dst, class, flits, payload
+	return m.Send(msg)
 }
 
 // TotalFlitHops returns the sum of flit-hops across all classes.

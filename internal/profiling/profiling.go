@@ -1,0 +1,76 @@
+// Package profiling wires the standard -cpuprofile/-memprofile flags into
+// the repo's binaries so hot-path work (see DESIGN.md, "Protocol hot
+// path") can be measured on real sweeps, not only in microbenchmarks.
+package profiling
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Profiles holds the flag values and the in-flight CPU profile.
+type Profiles struct {
+	cpuPath *string
+	memPath *string
+	cpuFile *os.File
+}
+
+// AddFlags registers -cpuprofile and -memprofile on fs (use flag.CommandLine
+// in main). Call Start after parsing and Stop (or Exit) before returning.
+func AddFlags(fs *flag.FlagSet) *Profiles {
+	p := &Profiles{}
+	p.cpuPath = fs.String("cpuprofile", "", "write a CPU profile to this file")
+	p.memPath = fs.String("memprofile", "", "write a heap profile to this file on exit")
+	return p
+}
+
+// Start begins CPU profiling if -cpuprofile was given.
+func (p *Profiles) Start() error {
+	if *p.cpuPath == "" {
+		return nil
+	}
+	f, err := os.Create(*p.cpuPath)
+	if err != nil {
+		return fmt.Errorf("profiling: %w", err)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return fmt.Errorf("profiling: %w", err)
+	}
+	p.cpuFile = f
+	return nil
+}
+
+// Stop finishes the CPU profile and writes the heap profile, if requested.
+// It is idempotent, so both a defer and an explicit pre-exit call are safe.
+func (p *Profiles) Stop() {
+	if p.cpuFile != nil {
+		pprof.StopCPUProfile()
+		p.cpuFile.Close()
+		p.cpuFile = nil
+	}
+	if *p.memPath != "" {
+		path := *p.memPath
+		*p.memPath = ""
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "profiling:", err)
+			return
+		}
+		runtime.GC() // settle the heap so the profile shows live data
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "profiling:", err)
+		}
+		f.Close()
+	}
+}
+
+// Exit flushes any profiles and terminates with code. Binaries use it in
+// place of os.Exit, which would skip the deferred Stop.
+func (p *Profiles) Exit(code int) {
+	p.Stop()
+	os.Exit(code)
+}

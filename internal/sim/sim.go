@@ -9,9 +9,11 @@
 // The scheduler is hand-specialized for the protocol's traffic shape and is
 // allocation-free on the steady-state path:
 //
-//   - Events due at the current cycle (After(0)) and the next cycle
-//     (After(1)) — the overwhelming majority of protocol messages — go to
-//     two FIFO ring buffers and never touch the heap.
+//   - Events due within the next wheelSize (256) cycles — every protocol
+//     latency and virtually every NoC arrival — go to a timing wheel of
+//     per-cycle FIFO ring buffers and never touch the heap. A 4-word
+//     occupancy bitmap finds the next non-empty bucket with a couple of
+//     trailing-zero counts.
 //   - Everything else goes to a flat 4-ary min-heap of 24-byte inline keys
 //     (cycle, tie, slot index); the callback payloads live out-of-line in a
 //     free-listed arena so sift operations move small values and nothing is
@@ -21,14 +23,20 @@
 // performs zero allocations per event. The total execution order is
 // bit-identical to the original container/heap implementation (the
 // property tests in legacy_test.go replay randomized schedules through
-// both): with FIFO tie-breaking, every ring event was necessarily
-// scheduled after every heap event due at the same cycle, so draining the
-// heap's same-cycle entries first preserves (cycle, seq) order exactly.
-// When a shuffle seed permutes same-cycle ties, all events take the heap
-// path, reproducing the original order for every seed.
+// both): with FIFO tie-breaking, an event lands in the wheel only once
+// `at - now < wheelSize`, so every wheel event due at cycle T was
+// scheduled strictly after every heap event due at T (which needed
+// `at - now >= wheelSize`, i.e. an earlier now and hence a smaller seq);
+// draining the heap's same-cycle entries before the wheel bucket therefore
+// preserves (cycle, seq) order exactly. When a shuffle seed permutes
+// same-cycle ties, all events take the heap path, reproducing the original
+// order for every seed.
 package sim
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+)
 
 // Cycle is a point in simulated time, measured in core clock cycles.
 type Cycle uint64
@@ -37,10 +45,24 @@ type Cycle uint64
 type Event func()
 
 // eventSlot is an event's payload, stored out-of-line from the heap keys
-// (and inline in the rings, which are never sifted).
+// (and inline in the rings, which are never sifted). An event is either a
+// plain closure (run) or an arg-passing pair (argFn, arg) scheduled through
+// AtArg/AfterArg; the latter lets callers reuse one long-lived func value
+// and avoid allocating a fresh closure per event.
 type eventSlot struct {
-	run  Event
-	name string // optional, for tracing
+	run   Event
+	argFn func(any)
+	arg   any
+	name  string // optional, for tracing
+}
+
+// fire executes whichever form of callback the slot carries.
+func (s *eventSlot) fire() {
+	if s.argFn != nil {
+		s.argFn(s.arg)
+		return
+	}
+	s.run()
 }
 
 // heapEntry is one 4-ary-heap key: the ordering fields plus the index of
@@ -73,8 +95,11 @@ func (r *ring) push(s eventSlot) {
 }
 
 func (r *ring) pop() eventSlot {
+	// The popped slot is left stale rather than cleared: clearing a
+	// pointer-bearing struct costs a write barrier per event, and the slot
+	// is overwritten on reuse anyway, so at most one buffer's worth of dead
+	// callbacks is retained.
 	s := r.buf[r.head]
-	r.buf[r.head] = eventSlot{} // release the closure for GC
 	r.head = (r.head + 1) & (len(r.buf) - 1)
 	r.n--
 	return s
@@ -93,6 +118,16 @@ func (r *ring) grow() {
 	r.head = 0
 }
 
+// Timing-wheel geometry: one FIFO bucket per cycle for the next wheelSize
+// cycles. Must be a power of two, and large enough to cover the protocol's
+// fixed latencies (memory reads at 160 cycles are the longest) so that the
+// heap only sees the rare congestion-delayed NoC arrival.
+const (
+	wheelSize  = 256
+	wheelMask  = wheelSize - 1
+	wheelWords = wheelSize / 64
+)
+
 // Engine owns the event queue and the simulated clock.
 type Engine struct {
 	now     Cycle
@@ -108,8 +143,12 @@ type Engine struct {
 	arena []eventSlot
 	free  []int32
 
-	cur  ring // events due at cycle now (only used with FIFO ties)
-	next ring // events due at cycle now+1
+	// Timing wheel of near-future events (FIFO ties only): bucket
+	// wheel[t & wheelMask] holds the events due at cycle t for
+	// t - now < wheelSize. wheelOcc is the per-bucket occupancy bitmap.
+	wheel      [wheelSize]ring
+	wheelOcc   [wheelWords]uint64
+	wheelCount int
 }
 
 // NewEngine returns an engine at cycle 0 with an empty queue.
@@ -144,34 +183,51 @@ func (e *Engine) Now() Cycle { return e.now }
 func (e *Engine) EventsRun() uint64 { return e.ran }
 
 // Pending returns the number of scheduled, not-yet-run events.
-func (e *Engine) Pending() int { return len(e.heap) + e.cur.n + e.next.n }
+func (e *Engine) Pending() int { return len(e.heap) + e.wheelCount }
 
 // At schedules fn to run at the absolute cycle at, which must not be in the
 // past. Events at the same cycle run in scheduling order.
 func (e *Engine) At(at Cycle, name string, fn Event) {
-	if at < e.now {
-		panic(fmt.Sprintf("sim: scheduling event %q at cycle %d, before now (%d)", name, at, e.now))
-	}
-	e.seq++
-	if e.shuffle != 0 {
-		// Shuffled ties permute whole cycles, so the FIFO rings cannot be
-		// used; every event takes the heap path with a hashed tie key.
-		e.heapPush(at, mix64(e.seq^e.shuffle), eventSlot{run: fn, name: name})
-		return
-	}
-	switch at {
-	case e.now:
-		e.cur.push(eventSlot{run: fn, name: name})
-	case e.now + 1:
-		e.next.push(eventSlot{run: fn, name: name})
-	default:
-		e.heapPush(at, e.seq, eventSlot{run: fn, name: name})
-	}
+	e.schedule(at, eventSlot{run: fn, name: name})
+}
+
+// AtArg schedules fn(arg) at the absolute cycle at. It shares At's sequence
+// counter and routing, so interleaved At/AtArg calls preserve scheduling
+// order exactly; the point of the arg form is that a long-lived fn plus a
+// pointer-shaped arg schedules without allocating a closure.
+func (e *Engine) AtArg(at Cycle, name string, fn func(any), arg any) {
+	e.schedule(at, eventSlot{argFn: fn, arg: arg, name: name})
 }
 
 // After schedules fn to run delay cycles from now.
 func (e *Engine) After(delay Cycle, name string, fn Event) {
-	e.At(e.now+delay, name, fn)
+	e.schedule(e.now+delay, eventSlot{run: fn, name: name})
+}
+
+// AfterArg schedules fn(arg) delay cycles from now (see AtArg).
+func (e *Engine) AfterArg(delay Cycle, name string, fn func(any), arg any) {
+	e.schedule(e.now+delay, eventSlot{argFn: fn, arg: arg, name: name})
+}
+
+func (e *Engine) schedule(at Cycle, s eventSlot) {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: scheduling event %q at cycle %d, before now (%d)", s.name, at, e.now))
+	}
+	e.seq++
+	if e.shuffle != 0 {
+		// Shuffled ties permute whole cycles, so the FIFO wheel cannot be
+		// used; every event takes the heap path with a hashed tie key.
+		e.heapPush(at, mix64(e.seq^e.shuffle), s)
+		return
+	}
+	if at-e.now < wheelSize {
+		b := int(at) & wheelMask
+		e.wheel[b].push(s)
+		e.wheelOcc[b>>6] |= 1 << (b & 63)
+		e.wheelCount++
+		return
+	}
+	e.heapPush(at, e.seq, s)
 }
 
 // Halt stops Run after the current event completes, leaving any remaining
@@ -242,46 +298,64 @@ func (e *Engine) heapPop() eventSlot {
 	return s
 }
 
+// nextWheel returns the cycle of the earliest wheel event; it must only be
+// called with wheelCount > 0. The circular bitmap scan starts at now's
+// bucket and costs at most wheelWords+1 trailing-zero counts.
+func (e *Engine) nextWheel() Cycle {
+	start := int(e.now) & wheelMask
+	wi, b0 := start>>6, uint(start&63)
+	if w := e.wheelOcc[wi] >> b0; w != 0 {
+		return e.now + Cycle(bits.TrailingZeros64(w))
+	}
+	off := 64 - int(b0)
+	for k := 1; k < wheelWords; k++ {
+		if w := e.wheelOcc[(wi+k)&(wheelWords-1)]; w != 0 {
+			return e.now + Cycle(off+(k-1)*64+bits.TrailingZeros64(w))
+		}
+	}
+	w := e.wheelOcc[wi] & (1<<b0 - 1)
+	return e.now + Cycle(off+(wheelWords-1)*64+bits.TrailingZeros64(w))
+}
+
 // nextTime returns the cycle of the earliest pending event.
 func (e *Engine) nextTime() (Cycle, bool) {
-	if e.cur.n > 0 {
-		return e.now, true
-	}
-	if len(e.heap) > 0 {
-		t := e.heap[0].at
-		if e.next.n > 0 && e.now+1 < t {
-			t = e.now + 1
+	if e.wheelCount > 0 {
+		t := e.nextWheel()
+		if len(e.heap) > 0 && e.heap[0].at < t {
+			t = e.heap[0].at
 		}
 		return t, true
 	}
-	if e.next.n > 0 {
-		return e.now + 1, true
+	if len(e.heap) > 0 {
+		return e.heap[0].at, true
 	}
 	return 0, false
 }
 
 // popNext removes the globally earliest event and advances the clock to
-// it. Heap entries due at the current cycle drain before the ring: they
-// were necessarily scheduled before anything in the rings (At routes every
-// same- and next-cycle request to the rings once the clock reaches the
-// relevant cycle), so this is exactly (cycle, seq) order.
+// it. Heap entries due at the current cycle drain before the wheel bucket:
+// they were necessarily scheduled before anything in the wheel (schedule
+// routes a request into the wheel only once its cycle is fewer than
+// wheelSize cycles out), so this is exactly (cycle, seq) order.
 // Precondition: at least one event is pending.
 func (e *Engine) popNext() eventSlot {
 	for {
 		if len(e.heap) > 0 && e.heap[0].at == e.now {
 			return e.heapPop()
 		}
-		if e.cur.n > 0 {
-			return e.cur.pop()
+		b := int(e.now) & wheelMask
+		if r := &e.wheel[b]; r.n > 0 {
+			s := r.pop()
+			e.wheelCount--
+			if r.n == 0 {
+				e.wheelOcc[b>>6] &^= 1 << (b & 63)
+			}
+			return s
 		}
 		// Nothing left at the current cycle: advance the clock.
 		t, _ := e.nextTime()
 		if t < e.now {
 			panic("sim: time went backwards")
-		}
-		if t == e.now+1 {
-			// cur is empty; its storage becomes the new next ring.
-			e.cur, e.next = e.next, e.cur
 		}
 		e.now = t
 	}
@@ -301,7 +375,7 @@ func (e *Engine) Run(limit uint64) uint64 {
 		if e.Trace != nil {
 			e.Trace(e.now, ev.name)
 		}
-		ev.run()
+		ev.fire()
 		e.ran++
 		n++
 	}
@@ -326,7 +400,7 @@ func (e *Engine) RunUntil(end Cycle) uint64 {
 		if e.Trace != nil {
 			e.Trace(e.now, ev.name)
 		}
-		ev.run()
+		ev.fire()
 		e.ran++
 		n++
 	}

@@ -1,0 +1,80 @@
+package trace
+
+import (
+	"sync"
+
+	"repro/internal/mem"
+)
+
+// Trace memoization. A Stream is a pure function of (mix, core, cores,
+// length, seed), and the simulator replays identical streams constantly:
+// every directory organization in a sweep runs the same workload, and
+// benchmarks re-run one configuration back to back. Zipf sampling is the
+// expensive part (an exp and a log per draw), so the first full generation
+// of a stream records the emitted accesses and later streams with the same
+// key replay the recording verbatim. Replay is bit-identical by
+// construction — Next has no observable effect besides the accesses it
+// returns.
+//
+// Only streams that are consumed to completion are published; a partially
+// drained stream (e.g. a halted simulation) records nothing. The cache is
+// bounded and evicts whole traces FIFO, so long-lived processes cannot
+// grow it without limit.
+
+// streamKey identifies one deterministic stream. Mix contains only
+// comparable fields, so the struct is a valid map key.
+type streamKey struct {
+	mix    Mix
+	core   int
+	cores  int
+	length int
+	seed   int64
+}
+
+const (
+	// memoMaxStream is the longest stream worth recording (accesses).
+	memoMaxStream = 1 << 20
+	// memoBudget bounds the total accesses retained across all cached
+	// traces (~64 MiB at 16 bytes per access).
+	memoBudget = 1 << 22
+)
+
+var memo struct {
+	sync.Mutex
+	traces map[streamKey][]mem.Access
+	order  []streamKey // insertion order, for FIFO eviction
+	held   int         // total accesses currently cached
+}
+
+// memoLookup returns the recorded trace for key, or nil.
+func memoLookup(key streamKey) []mem.Access {
+	memo.Lock()
+	t := memo.traces[key]
+	memo.Unlock()
+	return t
+}
+
+// memoPublish stores a fully generated trace, evicting oldest entries to
+// stay within budget.
+func memoPublish(key streamKey, t []mem.Access) {
+	if len(t) > memoBudget {
+		return
+	}
+	memo.Lock()
+	defer memo.Unlock()
+	if memo.traces == nil {
+		memo.traces = make(map[streamKey][]mem.Access)
+	}
+	if _, ok := memo.traces[key]; ok {
+		return
+	}
+	for memo.held+len(t) > memoBudget && len(memo.order) > 0 {
+		old := memo.order[0]
+		memo.order = memo.order[1:]
+		memo.held -= len(memo.traces[old])
+		delete(memo.traces, old)
+	}
+	memo.traces[key] = t
+	memo.order = append(memo.order, key)
+	memo.held += len(t)
+}

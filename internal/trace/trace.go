@@ -154,6 +154,13 @@ type Stream struct {
 	zipfPrivate  *rand.Zipf
 	zipfShared   *rand.Zipf
 	zipfProdCons *rand.Zipf
+
+	// Memoization (see memo.go): replay is a previously recorded identical
+	// stream to serve instead of generating; rec accumulates this stream's
+	// output for publication once fully consumed.
+	replay []mem.Access
+	rec    []mem.Access
+	key    streamKey
 }
 
 // NewStream builds core's stream of length accesses. The same (mix, core,
@@ -165,8 +172,15 @@ func NewStream(mix Mix, core, cores, length int, seed int64) (*Stream, error) {
 	if core < 0 || core >= cores {
 		return nil, fmt.Errorf("trace: core %d out of range [0,%d)", core, cores)
 	}
+	key := streamKey{mix: mix, core: core, cores: cores, length: length, seed: seed}
+	if t := memoLookup(key); t != nil {
+		return &Stream{mix: mix, core: core, cores: cores, length: length, replay: t}, nil
+	}
 	rng := rand.New(rand.NewSource(seed*1_000_003 + int64(core)*7919 + 1))
-	s := &Stream{mix: mix, core: core, cores: cores, length: length, rng: rng}
+	s := &Stream{mix: mix, core: core, cores: cores, length: length, rng: rng, key: key}
+	if length > 0 && length <= memoMaxStream {
+		s.rec = make([]mem.Access, 0, length)
+	}
 	if mix.ZipfS > 1 {
 		if mix.PrivateBlocks > 0 {
 			s.zipfPrivate = rand.NewZipf(rng, mix.ZipfS, 1, uint64(mix.PrivateBlocks-1))
@@ -196,6 +210,9 @@ func (s *Stream) Next() (mem.Access, bool) {
 	}
 	step := s.pos
 	s.pos++
+	if s.replay != nil {
+		return s.replay[step], true
+	}
 
 	r := s.rng.Float64()
 	m := &s.mix
@@ -238,6 +255,13 @@ func (s *Stream) Next() (mem.Access, bool) {
 		b := baseMigratory + mem.Block(slot%m.MigratoryBlocks)
 		// Alternate read/write to form the RMW pattern.
 		a = mem.Access{Addr: mem.AddrOf(b), Write: step%2 == 1}
+	}
+	if s.rec != nil {
+		s.rec = append(s.rec, a)
+		if len(s.rec) == s.length {
+			memoPublish(s.key, s.rec)
+			s.rec = nil
+		}
 	}
 	return a, true
 }
