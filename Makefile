@@ -1,19 +1,26 @@
 # Repo verification targets. `make ci` is what the verify step runs: it
-# vets everything, runs the full suite under the race detector (which
-# exercises the concurrent paths of internal/runner and cmd/stashd), and
-# runs the engine benchmarks once as a compile-and-smoke check.
+# lints everything (go vet plus the stashvet analyzers), runs the full
+# suite under the race detector (which exercises the concurrent paths of
+# internal/runner and cmd/stashd), and runs the engine benchmarks once as
+# a compile-and-smoke check.
 
 GO ?= go
 
-.PHONY: ci build test race vet bench bench-engine bench-protocol bench-smoke
+.PHONY: ci build test race vet lint bench bench-engine bench-protocol bench-smoke
 
-ci: vet race bench-smoke bench-protocol
+ci: lint race bench-smoke bench-protocol
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# lint is vet plus the repo's own analyzers (cmd/stashvet): pool
+# ownership (poolcheck), hot-path zero-alloc (hotpath) and simulation
+# determinism (determinism). A finding fails the build.
+lint: vet
+	$(GO) run ./cmd/stashvet ./...
 
 test:
 	$(GO) test ./...
@@ -32,9 +39,12 @@ bench-engine:
 # bench-protocol records the coherence hot-path benchmarks into
 # BENCH_protocol.json and fails if any steady-state protocol path
 # allocates: the pooled-message/pooled-TBE design is a zero-allocs/op
-# contract, enforced here in CI.
+# contract, enforced here in CI. When it fails, start with the static
+# picture: `make lint` — the hotpath analyzer usually names the exact
+# allocation site that broke the contract.
 bench-protocol:
-	$(GO) test -run '^$$' -bench BenchmarkProtocol -benchmem ./internal/coherence | $(GO) run ./cmd/benchjson -o BENCH_protocol.json -max-allocs 0
+	@$(GO) test -run '^$$' -bench BenchmarkProtocol -benchmem ./internal/coherence | $(GO) run ./cmd/benchjson -o BENCH_protocol.json -max-allocs 0 || \
+		{ echo "bench-protocol: allocation contract broken; run 'make lint' — the hotpath analyzer pinpoints allocation sites in //stash:hotpath functions" >&2; exit 1; }
 
 # bench-smoke executes every engine benchmark exactly once so ci catches
 # benchmark bit-rot without paying full measurement time.

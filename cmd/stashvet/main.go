@@ -1,0 +1,49 @@
+// Command stashvet runs the repo's static-analysis suite: the three
+// analyzers that turn the simulator's runtime invariants into build-time
+// errors.
+//
+//	poolcheck    pooled values (coherence messages, TBEs, NoC envelopes)
+//	             must be released or ownership-transferred on every path
+//	hotpath      //stash:hotpath functions must not heap-allocate
+//	determinism  simulation packages must not read wall clocks, draw from
+//	             global math/rand, spawn goroutines, or iterate maps
+//
+// Usage:
+//
+//	stashvet [packages]
+//
+// With no arguments it checks ./... from the enclosing module root. Exit
+// status is 1 if any diagnostic was reported, 2 on a load failure.
+// Diagnostics are suppressed by an adjacent "//stash:ignore <analyzer>
+// <reason>" comment; see DESIGN.md's "Static analysis" section.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/determinism"
+	"repro/internal/analysis/hotpath"
+	"repro/internal/analysis/poolcheck"
+)
+
+var analyzers = []*analysis.Analyzer{
+	poolcheck.Analyzer,
+	hotpath.Analyzer,
+	determinism.Analyzer,
+}
+
+func main() {
+	flag.Usage = usage
+	flag.Parse()
+	os.Exit(analysis.Main(os.Stdout, analyzers, flag.Args()))
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, "usage: stashvet [packages]\n\nanalyzers:\n")
+	for _, a := range analyzers {
+		fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, a.Doc)
+	}
+}

@@ -1,0 +1,137 @@
+// Package analysistest runs an analyzer over fixture packages and checks its
+// diagnostics against // want comments, in the style of
+// golang.org/x/tools/go/analysis/analysistest.
+//
+// Fixtures live under the calling test's testdata directory, which must be a
+// self-contained Go module (its own go.mod) so the loader's `go list` works
+// on it; packages sit under testdata/src/ and are addressed by patterns like
+// "./src/leak". A line expecting diagnostics carries a trailing comment
+//
+//	x := get() // want `leaked` `second regexp`
+//
+// with one regular expression (quoted or backquoted) per expected
+// diagnostic. Diagnostics and wants must match one-to-one per line.
+package analysistest
+
+import (
+	"go/ast"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/load"
+)
+
+// want is one expected diagnostic.
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// Run loads the fixture patterns from testdata, applies the analyzer (driver
+// semantics: AppliesTo scoping and //stash:ignore suppression included), and
+// reports any mismatch between findings and // want comments as test errors.
+func Run(t *testing.T, a *analysis.Analyzer, patterns ...string) {
+	t.Helper()
+	cwd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	testdata := filepath.Join(cwd, "testdata")
+	res, err := load.Load(testdata, patterns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := analysis.RunLoaded(res, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wants []*want
+	for _, p := range res.Packages {
+		if !p.Target {
+			continue
+		}
+		for _, f := range p.Files {
+			wants = append(wants, collectWants(t, res, f)...)
+		}
+	}
+
+	for _, f := range findings {
+		if w := match(wants, f); w == nil {
+			t.Errorf("unexpected diagnostic at %s: [%s] %s", f.Position, f.Analyzer, f.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+// match finds the first unmatched want on the finding's line whose pattern
+// matches, and consumes it.
+func match(wants []*want, f analysis.Finding) *want {
+	for _, w := range wants {
+		if !w.matched && w.file == f.Position.Filename && w.line == f.Position.Line && w.re.MatchString(f.Message) {
+			w.matched = true
+			return w
+		}
+	}
+	return nil
+}
+
+// collectWants parses the // want comments of one file.
+func collectWants(t *testing.T, res *load.Result, f *ast.File) []*want {
+	t.Helper()
+	var out []*want
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text, ok := strings.CutPrefix(c.Text, "// want ")
+			if !ok {
+				continue
+			}
+			pos := res.Fset.Position(c.Pos())
+			for _, pat := range splitPatterns(text) {
+				str, err := strconv.Unquote(pat)
+				if err != nil {
+					t.Fatalf("%s: bad want pattern %s: %v", pos, pat, err)
+				}
+				re, err := regexp.Compile(str)
+				if err != nil {
+					t.Fatalf("%s: bad want regexp %s: %v", pos, str, err)
+				}
+				out = append(out, &want{file: pos.Filename, line: pos.Line, re: re})
+			}
+		}
+	}
+	return out
+}
+
+// splitPatterns splits `"a b" `+"`c`"+` "d"` into its quoted tokens.
+func splitPatterns(s string) []string {
+	var out []string
+	for {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			return out
+		}
+		quote := s[0]
+		if quote != '"' && quote != '`' {
+			// Trailing prose after the patterns; ignore it.
+			return out
+		}
+		end := strings.IndexByte(s[1:], quote)
+		if end < 0 {
+			return out
+		}
+		out = append(out, s[:end+2])
+		s = s[end+2:]
+	}
+}

@@ -1,0 +1,110 @@
+// Package determinism implements the stashvet analyzer that keeps the
+// simulation core reproducible: a run is a pure function of its config and
+// seed, so the simulation packages must not read wall-clock time, draw from
+// the global math/rand stream, spawn goroutines, or iterate maps in an
+// order-sensitive way. The runner/stashd service layer is deliberately out of
+// scope — it talks to the OS and may do all of these.
+package determinism
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// simPackages are the import-path suffixes the analyzer applies to: the
+// deterministic simulation core. Everything else (cmd/, internal/runner,
+// internal/stashd, internal/experiments) is service layer and exempt.
+var simPackages = []string{
+	"internal/sim",
+	"internal/coherence",
+	"internal/core",
+	"internal/noc",
+	"internal/trace",
+	"internal/cache",
+	"internal/mem",
+	"internal/system",
+}
+
+// bannedTime lists the time package's wall-clock and timer entry points.
+// (time.Duration arithmetic and constants remain fine — only observing or
+// waiting on real time is banned.)
+var bannedTime = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "AfterFunc": true, "Tick": true,
+	"NewTimer": true, "NewTicker": true,
+}
+
+// allowedRand lists math/rand package-level functions that only construct
+// seeded generators rather than drawing from the global source.
+var allowedRand = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+}
+
+// Analyzer is the determinism check.
+var Analyzer = &analysis.Analyzer{
+	Name: "determinism",
+	Doc: "forbid wall-clock time, global math/rand, goroutines and map iteration " +
+		"in simulation packages, so every run is a pure function of config and seed",
+	AppliesTo: AppliesTo,
+	Run:       run,
+}
+
+// AppliesTo scopes the analyzer to the simulation core by import-path
+// suffix. Suffix matching (rather than exact paths) lets fixture modules and
+// forks exercise the same rules.
+func AppliesTo(pkgPath string) bool {
+	for _, s := range simPackages {
+		if pkgPath == s || strings.HasSuffix(pkgPath, "/"+s) {
+			return true
+		}
+	}
+	return false
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				pass.Reportf(n.Pos(), "goroutine spawn in simulation package: the engine is single-threaded; schedule an event instead")
+			case *ast.RangeStmt:
+				if tv, ok := pass.TypesInfo.Types[n.X]; ok {
+					if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+						pass.Reportf(n.Pos(), "map iteration order is nondeterministic: collect and sort keys, or use a slice-backed table")
+					}
+				}
+			case *ast.Ident:
+				checkUse(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkUse flags references to banned time and global math/rand functions.
+// Working off Uses (not just call expressions) also catches method values and
+// assignments like `now := time.Now`.
+func checkUse(pass *analysis.Pass, id *ast.Ident) {
+	fn, ok := pass.TypesInfo.Uses[id].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() != nil {
+		return // methods on rand.Rand / time.Timer values are fine
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		if bannedTime[fn.Name()] {
+			pass.Reportf(id.Pos(), "time.%s reads the wall clock: simulation time is sim.Engine's tick counter", fn.Name())
+		}
+	case "math/rand", "math/rand/v2":
+		if !allowedRand[fn.Name()] {
+			pass.Reportf(id.Pos(), "rand.%s draws from the global source: thread a seeded *rand.Rand from the run config", fn.Name())
+		}
+	}
+}

@@ -1,0 +1,27 @@
+package determinism_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/determinism"
+)
+
+func TestDeterminism(t *testing.T) {
+	analysistest.Run(t, determinism.Analyzer, "./src/internal/coherence", "./src/runner")
+}
+
+func TestAppliesTo(t *testing.T) {
+	for path, want := range map[string]bool{
+		"repro/internal/sim":       true,
+		"repro/internal/coherence": true,
+		"fixture/src/internal/noc": true,
+		"repro/internal/runner":    false,
+		"repro/internal/stashd":    false,
+		"repro/cmd/stashvet":       false,
+	} {
+		if got := determinism.AppliesTo(path); got != want {
+			t.Errorf("AppliesTo(%q) = %v, want %v", path, got, want)
+		}
+	}
+}

@@ -1,0 +1,51 @@
+// Package coherence is a determinism fixture: its import path ends in
+// internal/coherence, so the analyzer applies.
+package coherence
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func wallClock() time.Duration {
+	start := time.Now()          // want `time\.Now reads the wall clock`
+	time.Sleep(time.Millisecond) // want `time\.Sleep reads the wall clock`
+	clock := time.Now            // want `time\.Now reads the wall clock`
+	return clock().Sub(start)
+}
+
+func globalRand() int {
+	return rand.Intn(16) // want `rand\.Intn draws from the global source`
+}
+
+// seededRand is the sanctioned pattern: construct a local generator from a
+// config-derived seed.
+func seededRand(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(16)
+}
+
+func spawn(ch chan int) {
+	go func() { ch <- 1 }() // want `goroutine spawn in simulation package`
+}
+
+func mapOrder(m map[int]int) (sum int, keys []int) {
+	for _, v := range m { // want `map iteration order is nondeterministic`
+		sum += v
+	}
+	//stash:ignore determinism keys are sorted before use
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return sum, keys
+}
+
+func sliceOrder(s []int) int {
+	total := 0
+	for _, v := range s { // slices iterate in order; no diagnostic
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,21 @@
+// Package runner stands in for the service layer: its import path does not
+// match a simulation package, so the determinism analyzer leaves it alone
+// even though it uses wall-clock time, global rand and goroutines freely.
+package runner
+
+import (
+	"math/rand"
+	"time"
+)
+
+func Elapsed(done chan time.Duration) {
+	start := time.Now()
+	go func() {
+		time.Sleep(time.Duration(rand.Intn(10)) * time.Millisecond)
+		done <- time.Since(start)
+	}()
+}
+
+func Shuffle(jobs []int) {
+	rand.Shuffle(len(jobs), func(i, j int) { jobs[i], jobs[j] = jobs[j], jobs[i] })
+}

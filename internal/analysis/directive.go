@@ -1,0 +1,84 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// The //stash: directive namespace. Directives are ordinary line comments of
+// the form
+//
+//	//stash:<verb> [args...]
+//
+// attached either to a declaration's doc comment (hotpath, acquire, release,
+// transfer) or to an arbitrary line (ignore). They are the contract between
+// the simulator's hand-managed pools / hot paths and the stashvet analyzers:
+// annotating a function opts it into checking (hotpath) or teaches poolcheck
+// its ownership role (acquire/release/transfer). DESIGN.md's "Static
+// analysis" section documents each verb.
+const (
+	// DirectiveHotpath marks a function whose body must be free of
+	// heap-escaping constructs; enforced by the hotpath analyzer.
+	DirectiveHotpath = "hotpath"
+	// DirectiveAcquire marks a function whose pointer result is a pooled
+	// value the caller now owns (msgPool.get, Fabric.newMsg, Bank.newTBE...).
+	DirectiveAcquire = "acquire"
+	// DirectiveRelease marks a function that returns its pointer argument to
+	// its pool (msgPool.put, Fabric.releaseMsg, Bank.finish...).
+	DirectiveRelease = "release"
+	// DirectiveTransfer marks a function that takes over ownership of its
+	// pointer argument (NoC sends, event-queue parks, bank-queue chains).
+	DirectiveTransfer = "transfer"
+	// DirectiveIgnore suppresses a diagnostic: "//stash:ignore <analyzer>
+	// <reason>" on the flagged line or the line above it. The reason is
+	// mandatory; a bare ignore is itself reported.
+	DirectiveIgnore = "ignore"
+)
+
+const directivePrefix = "//stash:"
+
+// Directive is one parsed //stash: comment.
+type Directive struct {
+	Verb string // "hotpath", "acquire", ...
+	Args string // everything after the verb, trimmed
+}
+
+// parseDirective parses a single comment, returning ok=false for ordinary
+// comments.
+func parseDirective(text string) (Directive, bool) {
+	if !strings.HasPrefix(text, directivePrefix) {
+		return Directive{}, false
+	}
+	rest := strings.TrimPrefix(text, directivePrefix)
+	verb, args, _ := strings.Cut(rest, " ")
+	verb = strings.TrimSpace(verb)
+	if verb == "" {
+		return Directive{}, false
+	}
+	return Directive{Verb: verb, Args: strings.TrimSpace(args)}, true
+}
+
+// FuncDirectives returns the //stash: directives in a declaration's doc
+// comment.
+func FuncDirectives(doc *ast.CommentGroup) []Directive {
+	if doc == nil {
+		return nil
+	}
+	var out []Directive
+	for _, c := range doc.List {
+		if d, ok := parseDirective(c.Text); ok {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// HasDirective reports whether the doc comment carries the given verb.
+func HasDirective(doc *ast.CommentGroup, verb string) bool {
+	for _, d := range FuncDirectives(doc) {
+		if d.Verb == verb {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,198 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis/load"
+)
+
+// Finding is one resolved diagnostic: position plus the analyzer that
+// produced it.
+type Finding struct {
+	Position token.Position
+	Analyzer string
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: [%s] %s", f.Position, f.Analyzer, f.Message)
+}
+
+// RunPatterns loads patterns relative to dir, runs every analyzer over each
+// target package it applies to, and returns the surviving findings sorted by
+// position. //stash:ignore directives suppress findings; malformed or unused
+// suppressions are themselves findings, so the escape hatch cannot rot
+// silently.
+func RunPatterns(dir string, patterns []string, analyzers []*Analyzer) ([]Finding, error) {
+	res, err := load.Load(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	return RunLoaded(res, analyzers)
+}
+
+// RunLoaded runs the analyzers over an already-loaded result. The
+// analysistest harness uses it to share the suppression and reporting logic
+// with the command-line driver.
+func RunLoaded(res *load.Result, analyzers []*Analyzer) ([]Finding, error) {
+	universe := make([]*PackageInfo, 0, len(res.Packages))
+	for _, p := range res.Packages {
+		universe = append(universe, &PackageInfo{Pkg: p.Types, Files: p.Files, Info: p.Info})
+	}
+
+	var findings []Finding
+	for _, p := range res.Packages {
+		if !p.Target {
+			continue
+		}
+		sup := newSuppressions(res.Fset, p.Files)
+		ran := map[string]bool{}
+		for _, a := range analyzers {
+			if a.AppliesTo != nil && !a.AppliesTo(p.PkgPath) {
+				continue
+			}
+			ran[a.Name] = true
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      res.Fset,
+				Pkg:       p.Types,
+				Files:     p.Files,
+				TypesInfo: p.Info,
+				Universe:  universe,
+				Report: func(d Diagnostic) {
+					pos := res.Fset.Position(d.Pos)
+					if sup.suppresses(a.Name, pos) {
+						return
+					}
+					findings = append(findings, Finding{Position: pos, Analyzer: a.Name, Message: d.Message})
+				},
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %v", a.Name, p.PkgPath, err)
+			}
+		}
+		findings = append(findings, sup.problems(ran)...)
+	}
+
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Position.Filename != b.Position.Filename {
+			return a.Position.Filename < b.Position.Filename
+		}
+		if a.Position.Line != b.Position.Line {
+			return a.Position.Line < b.Position.Line
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings, nil
+}
+
+// Main is the cmd/stashvet entry point: run the analyzers over the patterns
+// (default ./...) and print findings. It returns the process exit code.
+func Main(out io.Writer, analyzers []*Analyzer, args []string) int {
+	patterns := args
+	root, err := load.ModuleDir(".")
+	if err != nil {
+		fmt.Fprintln(out, err)
+		return 2
+	}
+	findings, err := RunPatterns(root, patterns, analyzers)
+	if err != nil {
+		fmt.Fprintln(out, err)
+		return 2
+	}
+	for _, f := range findings {
+		fmt.Fprintln(out, f)
+	}
+	if len(findings) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// suppression is one parsed //stash:ignore directive.
+type suppression struct {
+	pos      token.Position
+	analyzer string // analyzer name or "all"
+	reason   string
+	used     bool
+}
+
+// suppressions indexes a package's ignore directives by file and line.
+type suppressions struct {
+	byLine map[string]map[int][]*suppression
+	all    []*suppression
+}
+
+func newSuppressions(fset *token.FileSet, files []*ast.File) *suppressions {
+	s := &suppressions{byLine: map[string]map[int][]*suppression{}}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				d, ok := parseDirective(c.Text)
+				if !ok || d.Verb != DirectiveIgnore {
+					continue
+				}
+				name, reason, _ := strings.Cut(d.Args, " ")
+				pos := fset.Position(c.Pos())
+				sp := &suppression{pos: pos, analyzer: name, reason: strings.TrimSpace(reason)}
+				lines := s.byLine[pos.Filename]
+				if lines == nil {
+					lines = map[int][]*suppression{}
+					s.byLine[pos.Filename] = lines
+				}
+				lines[pos.Line] = append(lines[pos.Line], sp)
+				s.all = append(s.all, sp)
+			}
+		}
+	}
+	return s
+}
+
+// suppresses reports whether a finding by analyzer at pos is covered by an
+// ignore directive on the same line or the line directly above, and marks
+// the directive used.
+func (s *suppressions) suppresses(analyzer string, pos token.Position) bool {
+	lines := s.byLine[pos.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, line := range [2]int{pos.Line, pos.Line - 1} {
+		for _, sp := range lines[line] {
+			if sp.analyzer == analyzer || sp.analyzer == "all" {
+				sp.used = true
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// problems reports malformed ignore directives (no analyzer or no reason)
+// and directives naming an analyzer that ran but suppressed nothing — a sign
+// the underlying issue was fixed and the escape hatch should go.
+func (s *suppressions) problems(ran map[string]bool) []Finding {
+	var out []Finding
+	for _, sp := range s.all {
+		switch {
+		case sp.analyzer == "" || sp.reason == "":
+			out = append(out, Finding{
+				Position: sp.pos,
+				Analyzer: "stashvet",
+				Message:  "malformed //stash:ignore: want \"//stash:ignore <analyzer> <reason>\"",
+			})
+		case !sp.used && (ran[sp.analyzer] || sp.analyzer == "all"):
+			out = append(out, Finding{
+				Position: sp.pos,
+				Analyzer: "stashvet",
+				Message:  fmt.Sprintf("unused //stash:ignore %s: nothing suppressed here; remove it", sp.analyzer),
+			})
+		}
+	}
+	return out
+}

@@ -1,0 +1,110 @@
+package analysis_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// TestSuppressionHygiene checks that the driver reports ignore directives
+// that are malformed (missing analyzer or reason) or that suppress nothing,
+// and stays quiet about directives naming analyzers that did not run.
+func TestSuppressionHygiene(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, filepath.Join(dir, "go.mod"), "module fix\n\ngo 1.22\n")
+	writeFile(t, filepath.Join(dir, "a.go"), `package fix
+
+//stash:ignore noop justified but nothing fires on this line
+var A = 1
+
+//stash:ignore noop
+var B = 2
+
+//stash:ignore
+var C = 3
+
+//stash:ignore ghost analyzer not in this run
+var D = 4
+`)
+
+	noop := &analysis.Analyzer{
+		Name: "noop",
+		Doc:  "reports nothing",
+		Run:  func(*analysis.Pass) error { return nil },
+	}
+	findings, err := analysis.RunPatterns(dir, []string{"."}, []*analysis.Analyzer{noop})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	wantSubstrings := map[int]string{
+		3: "unused //stash:ignore noop",
+		6: "malformed //stash:ignore",
+		9: "malformed //stash:ignore",
+	}
+	for _, f := range findings {
+		want, ok := wantSubstrings[f.Position.Line]
+		if !ok {
+			t.Errorf("unexpected finding: %s", f)
+			continue
+		}
+		if !strings.Contains(f.Message, want) {
+			t.Errorf("line %d: message %q does not contain %q", f.Position.Line, f.Message, want)
+		}
+		delete(wantSubstrings, f.Position.Line)
+	}
+	for line, want := range wantSubstrings {
+		t.Errorf("line %d: missing finding containing %q", line, want)
+	}
+}
+
+// TestMainExitCodes pins the cmd/stashvet contract the Makefile relies on:
+// exit 0 when clean, 1 when any analyzer reports, 2 when the load fails.
+func TestMainExitCodes(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, filepath.Join(dir, "go.mod"), "module fix\n\ngo 1.22\n")
+	writeFile(t, filepath.Join(dir, "a.go"), "package fix\n\nvar A = 1\n")
+	t.Chdir(dir)
+
+	quiet := &analysis.Analyzer{
+		Name: "quiet",
+		Doc:  "reports nothing",
+		Run:  func(*analysis.Pass) error { return nil },
+	}
+	noisy := &analysis.Analyzer{
+		Name: "noisy",
+		Doc:  "flags every file",
+		Run: func(p *analysis.Pass) error {
+			for _, f := range p.Files {
+				p.Reportf(f.Pos(), "flagged")
+			}
+			return nil
+		},
+	}
+
+	var out strings.Builder
+	if code := analysis.Main(&out, []*analysis.Analyzer{quiet}, []string{"./..."}); code != 0 {
+		t.Errorf("clean run: exit %d, want 0 (output: %s)", code, out.String())
+	}
+	out.Reset()
+	if code := analysis.Main(&out, []*analysis.Analyzer{noisy}, []string{"./..."}); code != 1 {
+		t.Errorf("run with findings: exit %d, want 1", code)
+	}
+	if !strings.Contains(out.String(), "[noisy] flagged") {
+		t.Errorf("finding not printed: %q", out.String())
+	}
+	out.Reset()
+	if code := analysis.Main(&out, []*analysis.Analyzer{quiet}, []string{"./no/such/dir"}); code != 2 {
+		t.Errorf("bad pattern: exit %d, want 2 (output: %s)", code, out.String())
+	}
+}
+
+func writeFile(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

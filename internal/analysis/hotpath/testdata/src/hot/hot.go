@@ -1,0 +1,87 @@
+// Package hot is a hotpath fixture: only functions annotated
+// //stash:hotpath are checked.
+package hot
+
+import "fmt"
+
+type msg struct {
+	id   int
+	next *msg
+}
+
+type pool struct {
+	freeList []*msg
+	table    map[int]*msg
+	sink     any
+	deliver  func(*msg)
+}
+
+//stash:hotpath
+func allocators(p *pool) {
+	buf := make([]int, 8) // want `make allocates`
+	m := new(msg)         // want `new allocates`
+	m2 := &msg{id: 1}     // want `&composite literal allocates`
+	ids := []int{1, 2}    // want `slice literal allocates`
+	byID := map[int]int{} // want `map literal allocates`
+	_, _, _, _, _ = buf, m, m2, ids, byID
+}
+
+//stash:hotpath
+func appends(p *pool, scratch []int) []int {
+	p.freeList = append(p.freeList, &msg{}) // want `&composite literal allocates`
+	scratch = append(scratch, 1)
+	local := scratch
+	local = append(local, 2)
+	out := append(scratch, 3) // want `append may grow the heap`
+	return out
+}
+
+//stash:hotpath
+func closures(p *pool) {
+	p.deliver = func(m *msg) {} // want `closure allocates`
+	defer fmt.Println("done")   // want `defer has per-call overhead` `converting string to any boxes`
+}
+
+//stash:hotpath
+func boxing(p *pool, m *msg, id int) {
+	p.sink = id // want `converting int to any boxes`
+	p.sink = m  // pointers fit the interface word
+	var v any = p.sink
+	p.sink = v // interface to interface does not box
+}
+
+//stash:hotpath
+func mapWrites(p *pool, m *msg) {
+	p.table[m.id] = m // want `map write may allocate`
+	if got, ok := p.table[m.id]; ok {
+		_ = got // reads are fine
+	}
+}
+
+//stash:hotpath
+func methodValue(p *pool, m *msg) {
+	f := m.value // want `method value allocates`
+	_ = f
+	_ = m.value() // direct call is fine
+}
+
+func (m *msg) value() int { return m.id }
+
+//stash:hotpath
+func coldPanic(m *msg) {
+	if m.next == nil {
+		panic(fmt.Sprintf("msg %d has no successor", m.id)) // cold path: exempt
+	}
+}
+
+//stash:hotpath
+func structValues(m *msg) msg {
+	cp := msg{id: m.id} // value composite stays on the stack
+	return cp
+}
+
+// unannotated allocates freely without findings.
+func unannotated() []*msg {
+	out := make([]*msg, 0, 4)
+	return append(out, &msg{})
+}

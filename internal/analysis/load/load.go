@@ -1,0 +1,243 @@
+// Package load turns Go package patterns into fully type-checked syntax
+// trees using only the standard library and the go tool itself — the
+// offline substitute for golang.org/x/tools/go/packages that the stashvet
+// analyzers run on.
+//
+// The loader shells out to `go list -e -deps -export -json`, which yields
+// every package in the transitive closure in dependency order together with
+// compiled export data. Packages of the module under analysis are parsed and
+// type-checked from source (the analyzers need their syntax); everything
+// else — the standard library — is imported from export data, which is both
+// fast and exact.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// Package is one loaded module package.
+type Package struct {
+	PkgPath string
+	Dir     string
+	Files   []*ast.File
+	Types   *types.Package
+	Info    *types.Info
+	// Target marks packages named by the load patterns (as opposed to
+	// dependencies pulled in for type information only).
+	Target bool
+}
+
+// Result is the outcome of a Load call.
+type Result struct {
+	Fset     *token.FileSet
+	Packages []*Package // module packages, dependency order
+}
+
+// listedPkg mirrors the `go list -json` fields the loader consumes.
+type listedPkg struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	GoFiles    []string
+	Imports    []string
+	ImportMap  map[string]string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+	Module     *struct{ Path, Dir string }
+	Error      *struct{ Err string }
+	Incomplete bool
+}
+
+// Load lists patterns from dir and type-checks every in-module package.
+func Load(dir string, patterns []string) (*Result, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+
+	fset := token.NewFileSet()
+	imp := &moduleImporter{
+		fset:    fset,
+		exports: map[string]string{},
+		mod:     map[string]*types.Package{},
+	}
+	for _, p := range pkgs {
+		if p.Export != "" {
+			imp.exports[p.ImportPath] = p.Export
+		}
+	}
+
+	res := &Result{Fset: fset}
+	// `go list -deps` emits dependencies before dependents, so a single
+	// forward sweep type-checks every module package after its imports.
+	for _, p := range pkgs {
+		if p.Standard || p.Module == nil {
+			continue
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("load: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		pkg, err := checkPackage(fset, imp, p)
+		if err != nil {
+			return nil, err
+		}
+		pkg.Target = !p.DepOnly
+		imp.mod[p.ImportPath] = pkg.Types
+		res.Packages = append(res.Packages, pkg)
+	}
+	if len(res.Packages) == 0 {
+		return nil, fmt.Errorf("load: no module packages matched %v", patterns)
+	}
+	return res, nil
+}
+
+// goList runs `go list -e -deps -export -json` and decodes its stream.
+func goList(dir string, patterns []string) ([]*listedPkg, error) {
+	args := append([]string{"list", "-e", "-deps", "-export", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("load: go list: %v\n%s", err, stderr.String())
+	}
+	var pkgs []*listedPkg
+	dec := json.NewDecoder(&stdout)
+	for {
+		var p listedPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("load: decoding go list output: %v", err)
+		}
+		pkgs = append(pkgs, &p)
+	}
+	return pkgs, nil
+}
+
+// checkPackage parses and type-checks one module package from source.
+func checkPackage(fset *token.FileSet, imp *moduleImporter, p *listedPkg) (*Package, error) {
+	files := make([]*ast.File, 0, len(p.GoFiles))
+	for _, name := range p.GoFiles {
+		path := name
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(p.Dir, name)
+		}
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return nil, fmt.Errorf("load: %s: %v", p.ImportPath, err)
+		}
+		f, err := parser.ParseFile(fset, path, src, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("load: %s: %v", p.ImportPath, err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+	conf := types.Config{
+		Importer: imp.forPackage(p),
+		// The go tool already vetted the build; keep going past errors a
+		// partial load can recover from, but remember the first.
+		Error: func(error) {},
+	}
+	tpkg, err := conf.Check(p.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("load: type-checking %s: %v", p.ImportPath, err)
+	}
+	return &Package{PkgPath: p.ImportPath, Dir: p.Dir, Files: files, Types: tpkg, Info: info}, nil
+}
+
+// moduleImporter resolves imports during module type-checking: module
+// packages come from the already-checked set, everything else from the gc
+// export data `go list -export` produced.
+type moduleImporter struct {
+	fset    *token.FileSet
+	exports map[string]string         // import path -> export data file
+	mod     map[string]*types.Package // checked module packages
+	gc      types.Importer            // lazy gc export-data importer
+}
+
+// forPackage returns an importer view that applies p's ImportMap (vendored
+// import rewrites) before resolving.
+func (m *moduleImporter) forPackage(p *listedPkg) types.Importer {
+	if len(p.ImportMap) == 0 {
+		return m
+	}
+	return mappedImporter{m: m, importMap: p.ImportMap}
+}
+
+func (m *moduleImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if pkg, ok := m.mod[path]; ok {
+		return pkg, nil
+	}
+	if m.gc == nil {
+		m.gc = importer.ForCompiler(m.fset, "gc", m.lookup)
+	}
+	return m.gc.Import(path)
+}
+
+// lookup feeds export data files to the gc importer.
+func (m *moduleImporter) lookup(path string) (io.ReadCloser, error) {
+	file, ok := m.exports[path]
+	if !ok {
+		return nil, fmt.Errorf("load: no export data for %q", path)
+	}
+	return os.Open(file)
+}
+
+type mappedImporter struct {
+	m         *moduleImporter
+	importMap map[string]string
+}
+
+func (mi mappedImporter) Import(path string) (*types.Package, error) {
+	if real, ok := mi.importMap[path]; ok {
+		path = real
+	}
+	return mi.m.Import(path)
+}
+
+// ModuleDir locates the enclosing module root of dir (the directory holding
+// go.mod), so callers can run patterns from anywhere inside the module.
+func ModuleDir(dir string) (string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for d := abs; ; d = filepath.Dir(d) {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d, nil
+		}
+		if d == filepath.Dir(d) {
+			return "", fmt.Errorf("load: no go.mod above %s", strings.TrimSpace(abs))
+		}
+	}
+}

@@ -1,0 +1,68 @@
+package load
+
+import (
+	"go/types"
+	"testing"
+)
+
+// TestLoadModule loads the repo itself and checks that type information for
+// both module packages and std-imported names resolved.
+func TestLoadModule(t *testing.T) {
+	root, err := ModuleDir(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Load(root, []string{"./internal/coherence", "./internal/noc"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byPath := map[string]*Package{}
+	for _, p := range res.Packages {
+		byPath[p.PkgPath] = p
+	}
+	coh, ok := byPath["repro/internal/coherence"]
+	if !ok {
+		t.Fatalf("coherence not loaded; got %v", keys(byPath))
+	}
+	if !coh.Target {
+		t.Error("coherence should be a target package")
+	}
+	if dep, ok := byPath["repro/internal/sim"]; !ok {
+		t.Error("dependency repro/internal/sim not loaded")
+	} else if dep.Target {
+		t.Error("sim is a dependency, not a target")
+	}
+	// The Fabric type must exist with its Engine field typed from the sim
+	// dependency package.
+	obj := coh.Types.Scope().Lookup("Fabric")
+	if obj == nil {
+		t.Fatal("coherence.Fabric not found")
+	}
+	st, ok := obj.Type().Underlying().(*types.Struct)
+	if !ok {
+		t.Fatalf("Fabric is %T, want struct", obj.Type().Underlying())
+	}
+	found := false
+	for i := 0; i < st.NumFields(); i++ {
+		if st.Field(i).Name() == "Engine" {
+			found = true
+			if got := st.Field(i).Type().String(); got != "*repro/internal/sim.Engine" {
+				t.Errorf("Engine field type = %s", got)
+			}
+		}
+	}
+	if !found {
+		t.Error("Fabric.Engine field not found")
+	}
+	if len(coh.Files) == 0 || coh.Info == nil {
+		t.Error("coherence syntax or type info missing")
+	}
+}
+
+func keys(m map[string]*Package) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

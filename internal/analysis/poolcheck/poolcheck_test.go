@@ -1,0 +1,12 @@
+package poolcheck_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/poolcheck"
+)
+
+func TestPoolcheck(t *testing.T) {
+	analysistest.Run(t, poolcheck.Analyzer, "./src/pool", "./src/client")
+}

@@ -1,0 +1,22 @@
+// Package client exercises cross-package role collection: the
+// //stash:acquire/release/transfer annotations live in fixture/src/pool,
+// while the flows under analysis are here.
+package client
+
+import "fixture/src/pool"
+
+func Leak(p *pool.Pool) {
+	m := p.Get() // want `pooled value m may leak`
+	m.ID = 1
+}
+
+func RoundTrip(p *pool.Pool) {
+	m := p.Get()
+	m.ID = 2
+	p.Put(m)
+}
+
+func Forward(p *pool.Pool) {
+	m := p.Get()
+	p.Send(m)
+}

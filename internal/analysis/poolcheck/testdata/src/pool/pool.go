@@ -1,0 +1,40 @@
+// Package pool is a poolcheck fixture: a miniature message pool with the
+// three ownership roles annotated, plus functions exercising every
+// diagnostic and every sanctioned flow.
+package pool
+
+type Msg struct {
+	ID   int
+	Next *Msg
+}
+
+type Pool struct {
+	free []*Msg
+	sent *Msg
+}
+
+// Get hands out a pooled message.
+//
+//stash:acquire
+func (p *Pool) Get() *Msg {
+	if n := len(p.free); n > 0 {
+		m := p.free[n-1]
+		p.free = p.free[:n-1]
+		return m
+	}
+	return &Msg{}
+}
+
+// Put returns a message to the pool.
+//
+//stash:release
+func (p *Pool) Put(m *Msg) {
+	p.free = append(p.free, m)
+}
+
+// Send injects a message into the fabric, taking over its ownership.
+//
+//stash:transfer
+func (p *Pool) Send(m *Msg) {
+	p.sent = m
+}

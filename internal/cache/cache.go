@@ -26,9 +26,13 @@ type Line struct {
 }
 
 // Valid reports whether the line currently holds a block.
+//
+//stash:hotpath
 func (l *Line) Valid() bool { return l.State != mem.Invalid }
 
 // Invalidate clears the line back to its empty state.
+//
+//stash:hotpath
 func (l *Line) Invalidate() {
 	l.State = mem.Invalid
 	l.Flags = 0
@@ -131,16 +135,21 @@ func (c *Cache) Capacity() int { return c.cfg.Sets * c.cfg.Ways }
 func (c *Cache) Stats() *stats.Set { return c.set }
 
 // SetIndex returns the set that block b maps to.
+//
+//stash:hotpath
 func (c *Cache) SetIndex(b mem.Block) int {
 	return int((b >> c.cfg.IndexShift) & c.mask)
 }
 
+//stash:hotpath
 func (c *Cache) line(set, way int) *Line {
 	return &c.lines[set*c.cfg.Ways+way]
 }
 
 // Lookup finds b and returns its line, recording a hit (and touching the
 // replacement state) or a miss. It returns nil on a miss.
+//
+//stash:hotpath
 func (c *Cache) Lookup(b mem.Block) *Line {
 	set := c.SetIndex(b)
 	for w := 0; w < c.cfg.Ways; w++ {
@@ -157,6 +166,8 @@ func (c *Cache) Lookup(b mem.Block) *Line {
 
 // Probe finds b without touching replacement state or hit/miss counters.
 // Controllers use it for snoops, audits and inclusion checks.
+//
+//stash:hotpath
 func (c *Cache) Probe(b mem.Block) *Line {
 	set := c.SetIndex(b)
 	for w := 0; w < c.cfg.Ways; w++ {
@@ -174,6 +185,8 @@ func (c *Cache) Probe(b mem.Block) *Line {
 // in-flight fills must skip them), so predicates that inspect Line.Block
 // must check Valid first — an invalid line's Block is stale. Victim
 // returns nil if every way is excluded.
+//
+//stash:hotpath
 func (c *Cache) Victim(b mem.Block, skip func(*Line) bool) *Line {
 	set := c.SetIndex(b)
 	for w := 0; w < c.cfg.Ways; w++ {
@@ -196,6 +209,8 @@ func (c *Cache) Victim(b mem.Block, skip func(*Line) bool) *Line {
 // b's set. If the line was valid, the previous occupant is counted as an
 // eviction; the caller is responsible for having handled its coherence
 // obligations first.
+//
+//stash:hotpath
 func (c *Cache) Install(ln *Line, b mem.Block, state mem.State, data uint64) {
 	set, way := c.locate(ln)
 	if set != c.SetIndex(b) {
@@ -213,6 +228,8 @@ func (c *Cache) Install(ln *Line, b mem.Block, state mem.State, data uint64) {
 }
 
 // Evict invalidates the given line, counting an eviction if it was valid.
+//
+//stash:hotpath
 func (c *Cache) Evict(ln *Line) {
 	if ln.Valid() {
 		c.evicts.Inc()
@@ -221,12 +238,16 @@ func (c *Cache) Evict(ln *Line) {
 }
 
 // Touch marks ln most-recently-used without counting a hit.
+//
+//stash:hotpath
 func (c *Cache) Touch(ln *Line) {
 	set, way := c.locate(ln)
 	c.policy.Touch(set, way)
 }
 
 // locate maps a *Line back to its (set, way) coordinates.
+//
+//stash:hotpath
 func (c *Cache) locate(ln *Line) (set, way int) {
 	set, way = int(ln.set), int(ln.way)
 	idx := set*c.cfg.Ways + way

@@ -93,13 +93,16 @@ func newLRUPolicy(sets, ways int) *lruPolicy {
 	return &lruPolicy{ways: ways, stamps: make([]uint64, sets*ways)}
 }
 
+//stash:hotpath
 func (p *lruPolicy) Touch(set, way int) {
 	p.clock++
 	p.stamps[set*p.ways+way] = p.clock
 }
 
+//stash:hotpath
 func (p *lruPolicy) Insert(set, way int) { p.Touch(set, way) }
 
+//stash:hotpath
 func (p *lruPolicy) Victim(set int, excluded func(way int) bool) int {
 	best := -1
 	var bestStamp uint64
@@ -136,6 +139,8 @@ func newPLRUPolicy(sets, ways int) *plruPolicy {
 
 // walk flips the tree bits along the path to way so the path points away
 // from it.
+//
+//stash:hotpath
 func (p *plruPolicy) walk(set, way int) {
 	base := set * (p.treeWays - 1)
 	node := 0
@@ -149,9 +154,13 @@ func (p *plruPolicy) walk(set, way int) {
 	}
 }
 
-func (p *plruPolicy) Touch(set, way int)  { p.walk(set, way) }
+//stash:hotpath
+func (p *plruPolicy) Touch(set, way int) { p.walk(set, way) }
+
+//stash:hotpath
 func (p *plruPolicy) Insert(set, way int) { p.walk(set, way) }
 
+//stash:hotpath
 func (p *plruPolicy) Victim(set int, excluded func(way int) bool) int {
 	base := set * (p.treeWays - 1)
 	node, way := 0, 0
@@ -189,6 +198,7 @@ func newNRUPolicy(sets, ways int) *nruPolicy {
 	return &nruPolicy{ways: ways, bits: make([]bool, sets*ways)}
 }
 
+//stash:hotpath
 func (p *nruPolicy) mark(set, way int) {
 	p.bits[set*p.ways+way] = true
 	// If every bit in the set is now set, clear the others.
@@ -204,9 +214,13 @@ func (p *nruPolicy) mark(set, way int) {
 	}
 }
 
-func (p *nruPolicy) Touch(set, way int)  { p.mark(set, way) }
+//stash:hotpath
+func (p *nruPolicy) Touch(set, way int) { p.mark(set, way) }
+
+//stash:hotpath
 func (p *nruPolicy) Insert(set, way int) { p.mark(set, way) }
 
+//stash:hotpath
 func (p *nruPolicy) Victim(set int, excluded func(way int) bool) int {
 	fallback := -1
 	for w := 0; w < p.ways; w++ {
@@ -228,22 +242,34 @@ func (p *nruPolicy) Victim(set int, excluded func(way int) bool) int {
 type randomPolicy struct {
 	ways int
 	rng  *rand.Rand
+	// scratch holds Victim's candidate list between calls; Victim runs once
+	// per eviction, and reusing the buffer keeps it allocation-free.
+	scratch []int
 }
 
 func newRandomPolicy(ways int, seed int64) *randomPolicy {
-	return &randomPolicy{ways: ways, rng: rand.New(rand.NewSource(seed))}
+	return &randomPolicy{
+		ways:    ways,
+		rng:     rand.New(rand.NewSource(seed)),
+		scratch: make([]int, 0, ways),
+	}
 }
 
-func (p *randomPolicy) Touch(set, way int)  {}
+//stash:hotpath
+func (p *randomPolicy) Touch(set, way int) {}
+
+//stash:hotpath
 func (p *randomPolicy) Insert(set, way int) {}
 
+//stash:hotpath
 func (p *randomPolicy) Victim(set int, excluded func(way int) bool) int {
-	candidates := make([]int, 0, p.ways)
+	candidates := p.scratch[:0]
 	for w := 0; w < p.ways; w++ {
 		if excluded == nil || !excluded(w) {
 			candidates = append(candidates, w)
 		}
 	}
+	p.scratch = candidates
 	if len(candidates) == 0 {
 		return -1
 	}

@@ -181,16 +181,27 @@ func NewBank(id int, fab *Fabric, dir core.Directory, llcCfg cache.Config) (*Ban
 }
 
 // Stats returns the bank's metric set.
+//
+//stash:hotpath
 func (bk *Bank) Stats() *stats.Set { return bk.set }
 
 // LLC exposes the LLC bank (read-only use: audits, examples).
+//
+//stash:hotpath
 func (bk *Bank) LLC() *cache.Cache { return bk.llc }
 
 // Directory exposes the directory slice.
+//
+//stash:hotpath
 func (bk *Bank) Directory() core.Directory { return bk.dir }
 
+//stash:hotpath
 func (bk *Bank) node() noc.NodeID { return noc.NodeID(bk.id) }
 
+// sendCore routes m to core's tile; the mesh takes ownership.
+//
+//stash:transfer
+//stash:hotpath
 func (bk *Bank) sendCore(coreID int, m *Msg) {
 	m.From = -1
 	bk.fab.sendToCore(bk.node(), coreID, m)
@@ -198,15 +209,21 @@ func (bk *Bank) sendCore(coreID int, m *Msg) {
 
 // busy reports whether block b has an in-flight transaction; the directory
 // organizations use it to skip victims they cannot touch.
+//
+//stash:hotpath
 func (bk *Bank) busy(b mem.Block) bool {
 	return bk.tbes.has(b)
 }
 
 // tbePoolStats reports the bank's live TBE count and high-water mark.
+//
+//stash:hotpath
 func (bk *Bank) tbePoolStats() (inUse, highWater int) { return bk.tbeUse, bk.tbeHigh }
 
 // addSharer records a sharer under the configured entry format (full-map
 // or limited-pointer).
+//
+//stash:hotpath
 func (bk *Bank) addSharer(e *core.Entry, c int) {
 	e.AddSharer(c, bk.fab.Params.PointerLimit)
 }
@@ -215,6 +232,8 @@ func (bk *Bank) addSharer(e *core.Entry, c int) {
 // for a precise entry, or a broadcast to every core (except skip, -1 for
 // none) when the entry overflowed its pointers. It returns the number of
 // acks to expect.
+//
+//stash:hotpath
 func (bk *Bank) sendEntryInvs(entry *core.Entry, b mem.Block, reason InvReason, skip int) int {
 	if entry.Overflowed {
 		bk.broadcastInvs.Inc()
@@ -232,6 +251,7 @@ func (bk *Bank) sendEntryInvs(entry *core.Entry, b mem.Block, reason InvReason, 
 		return n
 	}
 	n := 0
+	//stash:ignore hotpath ForEach does not retain the closure; it stays on the stack
 	entry.Sharers.ForEach(func(c int) {
 		if c == skip {
 			return
@@ -250,6 +270,8 @@ func (bk *Bank) sendEntryInvs(entry *core.Entry, b mem.Block, reason InvReason, 
 // messages from here on: responses are released at the end of this call,
 // requests either start a transaction (released inside start) or queue on
 // the busy TBE until dequeued.
+//
+//stash:hotpath
 func (bk *Bank) deliver(m *Msg) {
 	if m.Type.Request() {
 		if tbe, ok := bk.tbes.get(m.Block); ok {
@@ -311,6 +333,8 @@ func (bk *Bank) deliver(m *Msg) {
 
 // start claims the block's TBE, copies the request out of m (releasing it)
 // and, after the bank access latency, runs the transaction.
+//
+//stash:hotpath
 func (bk *Bank) start(m *Msg) *dirTBE {
 	tbe := bk.newTBE(m.Block)
 	tbe.reqType = m.Type
@@ -323,6 +347,8 @@ func (bk *Bank) start(m *Msg) *dirTBE {
 }
 
 // runStart is the bank.start event body.
+//
+//stash:hotpath
 func (bk *Bank) runStart(tbe *dirTBE) {
 	switch tbe.reqType {
 	case MsgGetS, MsgGetM:
@@ -335,7 +361,11 @@ func (bk *Bank) runStart(tbe *dirTBE) {
 	}
 }
 
-// newTBE claims a pooled TBE for block b.
+// newTBE claims a pooled TBE for block b. The caller must hand the TBE to a
+// sink — bk.wait, an engine park (AfterArg), or bk.finish — on every path.
+//
+//stash:acquire
+//stash:hotpath
 func (bk *Bank) newTBE(b mem.Block) *dirTBE {
 	if bk.busy(b) {
 		panic(fmt.Sprintf("coherence: bank %d double transaction on block %#x", bk.id, uint64(b)))
@@ -346,7 +376,7 @@ func (bk *Bank) newTBE(b mem.Block) *dirTBE {
 		bk.tbeFree = bk.tbeFree[:n-1]
 		*tbe = dirTBE{}
 	} else {
-		tbe = &dirTBE{}
+		tbe = &dirTBE{} //stash:ignore hotpath pool warm-up; amortized away by reuse
 	}
 	tbe.block = b
 	tbe.retained = -1
@@ -359,6 +389,9 @@ func (bk *Bank) newTBE(b mem.Block) *dirTBE {
 }
 
 // finish releases the TBE and pumps the block's request queue.
+//
+//stash:release
+//stash:hotpath
 func (bk *Bank) finish(tbe *dirTBE) {
 	b := tbe.block
 	if cur, ok := bk.tbes.get(b); !ok || cur != tbe {
@@ -388,6 +421,8 @@ func (bk *Bank) finish(tbe *dirTBE) {
 
 // finishOnUnblock finishes the transaction once the requester has confirmed
 // its forwarded grant (which may already have happened).
+//
+//stash:hotpath
 func (bk *Bank) finishOnUnblock(tbe *dirTBE) {
 	if tbe.unblocks > 0 {
 		bk.finish(tbe)
@@ -397,7 +432,10 @@ func (bk *Bank) finishOnUnblock(tbe *dirTBE) {
 }
 
 // wait arms the TBE to collect n responses, then run cont. n == 0 runs the
-// continuation immediately.
+// continuation immediately. The response path owns the TBE from here on.
+//
+//stash:transfer
+//stash:hotpath
 func (bk *Bank) wait(tbe *dirTBE, n int, cont tbeCont) {
 	tbe.gotDirty = false
 	tbe.retained = -1
@@ -412,6 +450,8 @@ func (bk *Bank) wait(tbe *dirTBE, n int, cont tbeCont) {
 }
 
 // runCont dispatches the TBE's armed continuation.
+//
+//stash:hotpath
 func (bk *Bank) runCont(tbe *dirTBE) {
 	switch tbe.cont {
 	case contFwdGetS:
@@ -441,6 +481,7 @@ func (bk *Bank) runCont(tbe *dirTBE) {
 // GetS / GetM
 // ---------------------------------------------------------------------------
 
+//stash:hotpath
 func (bk *Bank) handleGet(tbe *dirTBE) {
 	if tbe.reqType == MsgGetS {
 		bk.getS.Inc()
@@ -457,6 +498,8 @@ func (bk *Bank) handleGet(tbe *dirTBE) {
 // fillFromMemory brings tbe.block into the LLC: it evicts a victim
 // (recalling or discovering its private copies as inclusion demands) and
 // fetches the block from memory, continuing into dirPhase.
+//
+//stash:hotpath
 func (bk *Bank) fillFromMemory(tbe *dirTBE) {
 	victim := bk.llc.Victim(tbe.block, bk.llcSkipFn)
 	if victim == nil {
@@ -476,6 +519,8 @@ func (bk *Bank) fillFromMemory(tbe *dirTBE) {
 // claimAndFetch claims tbe.line for tbe.block immediately — so concurrent
 // fills cannot steal it; the TBE keeps everyone away from the garbage data
 // — and reads the block from memory.
+//
+//stash:hotpath
 func (bk *Bank) claimAndFetch(tbe *dirTBE) {
 	bk.llc.Install(tbe.line, tbe.block, mem.Shared, 0)
 	bk.fab.Engine.AfterArg(bk.fab.Params.MemLatency, "bank.memread", bk.memReadFn, tbe)
@@ -484,6 +529,8 @@ func (bk *Bank) claimAndFetch(tbe *dirTBE) {
 // evictLLCVictim enforces inclusion for an LLC victim: tracked copies are
 // recalled, hidden copies are discovered and invalidated, and dirty data is
 // written back to memory. The fill continues once the line may be reused.
+//
+//stash:hotpath
 func (bk *Bank) evictLLCVictim(tbe *dirTBE, victim *cacheLine) {
 	vb := victim.Block
 	if entry := bk.dir.Probe(vb); entry != nil {
@@ -516,6 +563,8 @@ func (bk *Bank) evictLLCVictim(tbe *dirTBE, victim *cacheLine) {
 // finishEvict folds any recalled dirty data into the victim line and writes
 // a modified victim back to memory. The line is reused by the caller; the
 // eviction itself is counted by Install.
+//
+//stash:hotpath
 func (bk *Bank) finishEvict(sub *dirTBE) {
 	victim := sub.line
 	if sub.gotDirty {
@@ -527,6 +576,7 @@ func (bk *Bank) finishEvict(sub *dirTBE) {
 	}
 }
 
+//stash:hotpath
 func (bk *Bank) evictRecallDone(sub *dirTBE) {
 	bk.finishEvict(sub)
 	bk.dir.Remove(sub.block)
@@ -535,6 +585,7 @@ func (bk *Bank) evictRecallDone(sub *dirTBE) {
 	bk.claimAndFetch(parent)
 }
 
+//stash:hotpath
 func (bk *Bank) evictHiddenDone(sub *dirTBE) {
 	if sub.anyFound {
 		bk.discFound.Inc()
@@ -550,6 +601,8 @@ func (bk *Bank) evictHiddenDone(sub *dirTBE) {
 
 // discover broadcasts a discovery probe for block b to every core except
 // skip (-1 probes everyone).
+//
+//stash:hotpath
 func (bk *Bank) discover(b mem.Block, kind DiscoverKind, reason InvReason, skip int) {
 	bk.discBroadcasts.Inc()
 	for c := 0; c < bk.fab.Params.Cores; c++ {
@@ -565,6 +618,8 @@ func (bk *Bank) discover(b mem.Block, kind DiscoverKind, reason InvReason, skip 
 }
 
 // dirPhase consults the directory once the block is LLC-resident.
+//
+//stash:hotpath
 func (bk *Bank) dirPhase(tbe *dirTBE, line *cacheLine) {
 	tbe.line = line
 	if entry := bk.dir.Lookup(tbe.block); entry != nil {
@@ -584,6 +639,8 @@ func (bk *Bank) dirPhase(tbe *dirTBE, line *cacheLine) {
 // an untracked private copy may exist, so probe all other cores, fold any
 // dirty data into the LLC, rebuild tracking and only then serve the
 // request.
+//
+//stash:hotpath
 func (bk *Bank) serveHidden(tbe *dirTBE) {
 	kind := DiscoverInvalidate
 	if tbe.reqType == MsgGetS {
@@ -593,6 +650,7 @@ func (bk *Bank) serveHidden(tbe *dirTBE) {
 	bk.wait(tbe, bk.fab.Params.Cores-1, contHidden)
 }
 
+//stash:hotpath
 func (bk *Bank) hiddenDone(tbe *dirTBE) {
 	line := tbe.line
 	line.Flags &^= flagHidden
@@ -612,6 +670,8 @@ func (bk *Bank) hiddenDone(tbe *dirTBE) {
 }
 
 // allocDone continues a request once allocEntry produced its entry.
+//
+//stash:hotpath
 func (bk *Bank) allocDone(tbe *dirTBE, entry *core.Entry) {
 	if tbe.alloc == allocHidden && tbe.reqType == MsgGetS && tbe.retained >= 0 {
 		// The hidden owner was downgraded and kept a Shared copy.
@@ -629,6 +689,8 @@ func (bk *Bank) allocDone(tbe *dirTBE, entry *core.Entry) {
 
 // grantFresh grants a block with no other live copies: Exclusive for reads
 // (the MESI E optimization), Modified for writes.
+//
+//stash:hotpath
 func (bk *Bank) grantFresh(tbe *dirTBE, entry *core.Entry) {
 	entry.Sharers.Add(tbe.reqFrom)
 	entry.Owned = true
@@ -642,6 +704,8 @@ func (bk *Bank) grantFresh(tbe *dirTBE, entry *core.Entry) {
 }
 
 // serveTracked serves a request for a block with a live directory entry.
+//
+//stash:hotpath
 func (bk *Bank) serveTracked(tbe *dirTBE, line *cacheLine, entry *core.Entry) {
 	r := tbe.reqFrom
 	tbe.entry = entry
@@ -709,6 +773,8 @@ func (bk *Bank) serveTracked(tbe *dirTBE, line *cacheLine, entry *core.Entry) {
 }
 
 // fwdGetSDone finishes a three-hop GetS once the owner answered.
+//
+//stash:hotpath
 func (bk *Bank) fwdGetSDone(tbe *dirTBE) {
 	line, entry, owner, r := tbe.line, tbe.entry, tbe.owner, tbe.reqFrom
 	if tbe.gotDirty {
@@ -738,6 +804,8 @@ func (bk *Bank) fwdGetSDone(tbe *dirTBE) {
 }
 
 // fetchDone finishes a two-hop GetS once the owner answered the Fetch.
+//
+//stash:hotpath
 func (bk *Bank) fetchDone(tbe *dirTBE) {
 	line, entry, owner, r := tbe.line, tbe.entry, tbe.owner, tbe.reqFrom
 	if tbe.gotDirty {
@@ -764,6 +832,8 @@ func (bk *Bank) fetchDone(tbe *dirTBE) {
 }
 
 // fwdGetMDone finishes a three-hop GetM once the owner answered.
+//
+//stash:hotpath
 func (bk *Bank) fwdGetMDone(tbe *dirTBE) {
 	line, entry, r := tbe.line, tbe.entry, tbe.reqFrom
 	if tbe.gotDirty {
@@ -784,6 +854,8 @@ func (bk *Bank) fwdGetMDone(tbe *dirTBE) {
 }
 
 // invOwnerDone finishes a two-hop GetM once the owner acknowledged.
+//
+//stash:hotpath
 func (bk *Bank) invOwnerDone(tbe *dirTBE) {
 	line, entry, r := tbe.line, tbe.entry, tbe.reqFrom
 	if tbe.gotDirty {
@@ -800,6 +872,8 @@ func (bk *Bank) invOwnerDone(tbe *dirTBE) {
 }
 
 // invSharersDone finishes a GetM on a shared entry once every sharer acked.
+//
+//stash:hotpath
 func (bk *Bank) invSharersDone(tbe *dirTBE) {
 	entry, r := tbe.entry, tbe.reqFrom
 	entry.Sharers = 0
@@ -816,6 +890,8 @@ func (bk *Bank) invSharersDone(tbe *dirTBE) {
 
 // allocEntry obtains a directory entry for tbe.block, recalling or stashing
 // a victim as the organization demands, then runs allocDone.
+//
+//stash:hotpath
 func (bk *Bank) allocEntry(tbe *dirTBE) {
 	res := bk.dir.Allocate(tbe.block, bk.busyFn)
 	switch res.Outcome {
@@ -849,6 +925,8 @@ func (bk *Bank) allocEntry(tbe *dirTBE) {
 
 // recallDone finishes a directory-entry recall and retries the allocation
 // in the same event: the freed slot cannot be stolen before we run again.
+//
+//stash:hotpath
 func (bk *Bank) recallDone(sub *dirTBE) {
 	vb := sub.block
 	if sub.gotDirty {
@@ -872,6 +950,8 @@ func (bk *Bank) recallDone(sub *dirTBE) {
 // handlePut retires an L1 eviction notification. Races with recalls,
 // fetches and LLC evictions make several "stale" shapes legal; each is
 // acknowledged and folded in as the rules below describe.
+//
+//stash:hotpath
 func (bk *Bank) handlePut(tbe *dirTBE) {
 	bk.puts.Inc()
 	b := tbe.block

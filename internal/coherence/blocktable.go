@@ -41,14 +41,20 @@ func (t *blockTable[V]) alloc(size int) {
 }
 
 // home returns the preferred slot for block b.
+//
+//stash:hotpath
 func (t *blockTable[V]) home(b mem.Block) int {
 	return int((uint64(b) * 0x9E3779B97F4A7C15) >> t.shift)
 }
 
 // len returns the number of live entries.
+//
+//stash:hotpath
 func (t *blockTable[V]) len() int { return t.n }
 
 // get returns the value stored for b.
+//
+//stash:hotpath
 func (t *blockTable[V]) get(b mem.Block) (V, bool) {
 	mask := len(t.keys) - 1
 	for i := t.home(b); t.used[i]; i = (i + 1) & mask {
@@ -61,6 +67,8 @@ func (t *blockTable[V]) get(b mem.Block) (V, bool) {
 }
 
 // has reports whether b is present.
+//
+//stash:hotpath
 func (t *blockTable[V]) has(b mem.Block) bool {
 	mask := len(t.keys) - 1
 	for i := t.home(b); t.used[i]; i = (i + 1) & mask {
@@ -72,6 +80,8 @@ func (t *blockTable[V]) has(b mem.Block) bool {
 }
 
 // put stores v for b, inserting or overwriting.
+//
+//stash:hotpath
 func (t *blockTable[V]) put(b mem.Block, v V) {
 	if (t.n+1)*4 > len(t.keys)*3 {
 		t.grow()
@@ -93,6 +103,8 @@ func (t *blockTable[V]) put(b mem.Block, v V) {
 
 // del removes b's entry, if present, compacting the probe chain so later
 // lookups stay correct without tombstones.
+//
+//stash:hotpath
 func (t *blockTable[V]) del(b mem.Block) {
 	mask := len(t.keys) - 1
 	i := t.home(b)
@@ -141,6 +153,8 @@ func (t *blockTable[V]) grow() {
 
 // forEach visits every live entry in slot order (deterministic). The table
 // must not be mutated during iteration.
+//
+//stash:hotpath
 func (t *blockTable[V]) forEach(fn func(mem.Block, V)) {
 	for i, u := range t.used {
 		if u {

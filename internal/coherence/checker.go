@@ -2,6 +2,7 @@ package coherence
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/mem"
 )
@@ -165,10 +166,25 @@ func Audit(f *Fabric) []string {
 		}
 	}
 
-	for b, m := range holders {
+	// Violations are reported in block/core order so Audit's output is a
+	// pure function of the machine state, not of map layout.
+	blocks := make([]mem.Block, 0, len(holders))
+	//stash:ignore determinism keys are sorted before use
+	for b := range holders {
+		blocks = append(blocks, b)
+	}
+	sort.Slice(blocks, func(i, j int) bool { return blocks[i] < blocks[j] })
+	for _, b := range blocks {
+		m := holders[b]
+		cores := make([]int, 0, len(m))
+		//stash:ignore determinism keys are sorted before use
+		for c := range m {
+			cores = append(cores, c)
+		}
+		sort.Ints(cores)
 		owned := 0
-		for _, st := range m {
-			if st.Owned() {
+		for _, c := range cores {
+			if m[c].Owned() {
 				owned++
 			}
 		}
@@ -198,7 +214,7 @@ func Audit(f *Fabric) []string {
 			// do not apply.
 			continue
 		}
-		for core := range m {
+		for _, core := range cores {
 			if !entry.Sharers.Has(core) {
 				report("directory entry for block %#x omits holder core %d", uint64(b), core)
 			}

@@ -97,6 +97,9 @@ type Fabric struct {
 }
 
 // newMsg acquires a zeroed message from the fabric's pool.
+//
+//stash:acquire
+//stash:hotpath
 func (f *Fabric) newMsg(t MsgType, b mem.Block) *Msg {
 	m := f.pool.get()
 	m.Type = t
@@ -105,6 +108,9 @@ func (f *Fabric) newMsg(t MsgType, b mem.Block) *Msg {
 }
 
 // releaseMsg returns a delivered message to the pool.
+//
+//stash:release
+//stash:hotpath
 func (f *Fabric) releaseMsg(m *Msg) { f.pool.put(m) }
 
 // SetPoolDebug toggles the message pool's poison mode: released messages
@@ -125,7 +131,10 @@ type tile struct {
 	bank *Bank
 }
 
-// Deliver implements noc.Endpoint.
+// Deliver implements noc.Endpoint. The receiving controller takes ownership
+// of the payload message and releases it at the end of its handler.
+//
+//stash:hotpath
 func (t *tile) Deliver(nm *noc.Message) {
 	m := nm.Payload.(*Msg)
 	switch m.Type {
@@ -143,7 +152,11 @@ func (f *Fabric) HomeBank(b mem.Block) int {
 	return int(uint64(b) % uint64(len(f.Banks)))
 }
 
-// send transports m across the mesh on a pooled envelope.
+// send transports m across the mesh on a pooled envelope. The mesh (and
+// eventually the receiving tile) owns m from here on.
+//
+//stash:transfer
+//stash:hotpath
 func (f *Fabric) send(src, dst noc.NodeID, m *Msg) {
 	if f.OnMessage != nil {
 		f.OnMessage(src, dst, m)
@@ -152,11 +165,17 @@ func (f *Fabric) send(src, dst noc.NodeID, m *Msg) {
 }
 
 // sendToBank sends m from core-side node src to block's home bank.
+//
+//stash:transfer
+//stash:hotpath
 func (f *Fabric) sendToBank(src noc.NodeID, m *Msg) {
 	f.send(src, noc.NodeID(f.HomeBank(m.Block)), m)
 }
 
 // sendToCore sends m from bank node src to core id's tile.
+//
+//stash:transfer
+//stash:hotpath
 func (f *Fabric) sendToCore(src noc.NodeID, core int, m *Msg) {
 	f.send(src, noc.NodeID(core), m)
 }

@@ -78,9 +78,9 @@ type L1 struct {
 	invalidatedBy *blockTable[InvReason]
 
 	// Long-lived callbacks (no per-event closures on the hot path).
-	requestFn func(any)               // sends the TBE's demand request
-	l2FillFn  func(any)               // completes a local L2-hit fill
-	skipFn    func(*cacheLine) bool   // victim-selection skip predicate
+	requestFn func(any)             // sends the TBE's demand request
+	l2FillFn  func(any)             // completes a local L2-hit fill
+	skipFn    func(*cacheLine) bool // victim-selection skip predicate
 
 	set            *stats.Set
 	loads          *stats.Counter
@@ -171,17 +171,29 @@ func NewL1(id int, fab *Fabric, cfg cache.Config, l2cfg *cache.Config) (*L1, err
 }
 
 // Stats returns the L1 metric set.
+//
+//stash:hotpath
 func (l *L1) Stats() *stats.Set { return l.set }
 
 // Cache exposes the L1 tag array (read-only use: audits, examples).
+//
+//stash:hotpath
 func (l *L1) Cache() *cache.Cache { return l.cache }
 
 // L2 exposes the private L2 tag array, or nil when the hierarchy has none.
+//
+//stash:hotpath
 func (l *L1) L2() *cache.Cache { return l.l2 }
 
+//stash:hotpath
 func (l *L1) node() noc.NodeID { return noc.NodeID(l.id) }
 
-// newTBE claims a pooled TBE for block b and registers it.
+// newTBE claims a pooled TBE for block b and registers it. The caller must
+// hand the TBE to a sink — an engine park (AfterArg) or l.freeTBE — on
+// every path.
+//
+//stash:acquire
+//stash:hotpath
 func (l *L1) newTBE(b mem.Block) *l1TBE {
 	var tbe *l1TBE
 	if n := len(l.tbeFree); n > 0 {
@@ -191,7 +203,7 @@ func (l *L1) newTBE(b mem.Block) *l1TBE {
 		*tbe = l1TBE{}
 		tbe.waiters = w
 	} else {
-		tbe = &l1TBE{}
+		tbe = &l1TBE{} //stash:ignore hotpath pool warm-up; amortized away by reuse
 	}
 	tbe.block = b
 	tbe.issued = uint64(l.fab.Engine.Now())
@@ -201,6 +213,9 @@ func (l *L1) newTBE(b mem.Block) *l1TBE {
 
 // freeTBE returns a retired TBE to the pool. The caller must already have
 // removed it from the table and replayed its waiters.
+//
+//stash:release
+//stash:hotpath
 func (l *L1) freeTBE(tbe *l1TBE) {
 	tbe.done = nil
 	l.tbeFree = append(l.tbeFree, tbe)
@@ -211,6 +226,8 @@ func (l *L1) freeTBE(tbe *l1TBE) {
 // MSHR count); the L1 itself accepts any number, coalescing same-block
 // accesses behind the in-flight miss and stalling accesses whose set has
 // no usable way until a fill frees one.
+//
+//stash:hotpath
 func (l *L1) Access(a mem.Access, done func()) {
 	if a.Write {
 		l.stores.Inc()
@@ -224,6 +241,8 @@ func (l *L1) Access(a mem.Access, done func()) {
 // stalls or starts a miss. Replays (coalesced/stalled accesses re-entering
 // after a fill) come through here too, so they are not double-counted as
 // loads/stores.
+//
+//stash:hotpath
 func (l *L1) lookupAndService(a mem.Access, done func()) {
 	b := a.Block()
 	if tbe, ok := l.tbes.get(b); ok {
@@ -360,6 +379,8 @@ func (l *L1) lookupAndService(a mem.Access, done func()) {
 // completeLocalFill finishes an L2-hit fill: install into the reserved L1
 // way unless a snoop raced the fill away (then the access replays as a
 // fresh lookup), and replay anything that piled up behind it.
+//
+//stash:hotpath
 func (l *L1) completeLocalFill(tbe *l1TBE) {
 	a := tbe.access
 	l.tbes.del(tbe.block)
@@ -384,6 +405,8 @@ func (l *L1) completeLocalFill(tbe *l1TBE) {
 
 // replayStalled retries accesses that stalled on fully-reserved sets. The
 // drained batch and the fresh stall list double-buffer each other.
+//
+//stash:hotpath
 func (l *L1) replayStalled() {
 	if len(l.stalled) == 0 {
 		return
@@ -398,6 +421,8 @@ func (l *L1) replayStalled() {
 
 // foldIntoL2 retires an L1 victim into the (inclusive) L2: dirty data and
 // the Modified state move down; no coherence traffic results.
+//
+//stash:hotpath
 func (l *L1) foldIntoL2(ln *cacheLine) {
 	l2ln := l.l2.Probe(ln.Block)
 	if l2ln == nil {
@@ -414,6 +439,8 @@ func (l *L1) foldIntoL2(ln *cacheLine) {
 // evictL2Line retires an L2 victim out of the hierarchy: any L1 copy is
 // removed first (taking its newer data), then the directory is notified as
 // for a single-level eviction.
+//
+//stash:hotpath
 func (l *L1) evictL2Line(l2ln *cacheLine) {
 	b := l2ln.Block
 	data := l2ln.Data
@@ -453,6 +480,8 @@ func (l *L1) evictL2Line(l2ln *cacheLine) {
 
 // completeLoad verifies the value against the oracle and schedules the
 // core's continuation after the hit latency.
+//
+//stash:hotpath
 func (l *L1) completeLoad(ln *cacheLine, done func()) {
 	l.fab.Checker.CheckLoad(l.id, ln.Block, ln.Data)
 	l.fab.Engine.After(l.fab.Params.L1HitLatency, "l1.load", done)
@@ -460,6 +489,8 @@ func (l *L1) completeLoad(ln *cacheLine, done func()) {
 
 // commitStore stamps the oracle value into the line (the store commits
 // here; the line must be writable) and schedules the continuation.
+//
+//stash:hotpath
 func (l *L1) commitStore(ln *cacheLine, done func()) {
 	if ln.State != mem.Modified {
 		panic(fmt.Sprintf("coherence: core %d storing to %v line", l.id, ln.State))
@@ -470,6 +501,8 @@ func (l *L1) commitStore(ln *cacheLine, done func()) {
 
 // evictLine retires a victim: Modified lines always write back; clean lines
 // notify the directory unless silent clean evictions are configured.
+//
+//stash:hotpath
 func (l *L1) evictLine(ln *cacheLine) {
 	b := ln.Block
 	switch ln.State {
@@ -498,11 +531,17 @@ func (l *L1) evictLine(ln *cacheLine) {
 	l.cache.Evict(ln)
 }
 
+// send routes m to its block's home bank; the mesh takes ownership.
+//
+//stash:transfer
+//stash:hotpath
 func (l *L1) send(m *Msg) { l.fab.sendToBank(l.node(), m) }
 
 // deliver handles a message from the network. The L1 is the final receiver
 // of everything routed here, so the message returns to the pool when the
 // handler is done with it.
+//
+//stash:hotpath
 func (l *L1) deliver(m *Msg) {
 	switch m.Type {
 	case MsgDataS, MsgDataE, MsgDataM:
@@ -529,6 +568,8 @@ func (l *L1) deliver(m *Msg) {
 // straight to the requester, and tells the bank what happened. When the
 // copy is gone (and not even in the eviction buffer), the bank serves the
 // requester itself.
+//
+//stash:hotpath
 func (l *L1) onFwdGetS(m *Msg) {
 	resp := l.fab.newMsg(MsgFetchResp, m.Block)
 	resp.From = l.id
@@ -560,6 +601,8 @@ func (l *L1) onFwdGetS(m *Msg) {
 
 // onFwdGetM (three-hop mode) invalidates an owned copy and forwards a
 // writable grant to the requester.
+//
+//stash:hotpath
 func (l *L1) onFwdGetM(m *Msg) {
 	resp := l.fab.newMsg(MsgInvAck, m.Block)
 	resp.From = l.id
@@ -592,6 +635,8 @@ func (l *L1) onFwdGetM(m *Msg) {
 
 // onData completes an outstanding miss, then replays any accesses that
 // coalesced behind it or stalled on a full set.
+//
+//stash:hotpath
 func (l *L1) onData(m *Msg) {
 	tbe, ok := l.tbes.get(m.Block)
 	if !ok {
@@ -709,6 +754,8 @@ func (l *L1) onData(m *Msg) {
 
 // probeHier returns the hierarchy's copy of b: the L1 line and (when an L2
 // exists) the L2 line.
+//
+//stash:hotpath
 func (l *L1) probeHier(b mem.Block) (l1ln, l2ln *cacheLine) {
 	l1ln = l.cache.Probe(b)
 	if l.l2 != nil {
@@ -719,6 +766,8 @@ func (l *L1) probeHier(b mem.Block) (l1ln, l2ln *cacheLine) {
 
 // hierDirty extracts the modified payload of a hierarchy copy, if any; the
 // L1's copy is the freshest.
+//
+//stash:hotpath
 func hierDirty(l1ln, l2ln *cacheLine) (data uint64, dirty bool) {
 	if l1ln != nil && l1ln.State == mem.Modified {
 		return l1ln.Data, true
@@ -730,6 +779,8 @@ func hierDirty(l1ln, l2ln *cacheLine) (data uint64, dirty bool) {
 }
 
 // hierData returns the hierarchy's current payload (L1 first).
+//
+//stash:hotpath
 func hierData(l1ln, l2ln *cacheLine) uint64 {
 	if l1ln != nil {
 		return l1ln.Data
@@ -738,6 +789,8 @@ func hierData(l1ln, l2ln *cacheLine) uint64 {
 }
 
 // invalidateHier removes the copy from both levels.
+//
+//stash:hotpath
 func (l *L1) invalidateHier(l1ln, l2ln *cacheLine) {
 	if l1ln != nil {
 		l.cache.Evict(l1ln)
@@ -750,6 +803,8 @@ func (l *L1) invalidateHier(l1ln, l2ln *cacheLine) {
 // downgradeHier moves both levels to Shared. A Modified L1 copy's data is
 // synced into the L2 first — otherwise the L2 would keep serving its stale
 // payload after the (now Shared) L1 copy folds away.
+//
+//stash:hotpath
 func downgradeHier(l1ln, l2ln *cacheLine) {
 	if l1ln != nil && l1ln.State == mem.Modified && l2ln != nil {
 		l2ln.Data = l1ln.Data
@@ -765,6 +820,8 @@ func downgradeHier(l1ln, l2ln *cacheLine) {
 // markUpgradeInvalidated flags an in-flight upgrade whose copy a snoop just
 // killed, keeping its fill targets reserved. Because invalidation clears
 // the line's Flags word, callers invalidate first and mark afterwards.
+//
+//stash:hotpath
 func (l *L1) markUpgradeInvalidated(b mem.Block) {
 	if tbe, ok := l.tbes.get(b); ok && tbe.upgrade {
 		tbe.sawInv = true
@@ -777,6 +834,8 @@ func (l *L1) markUpgradeInvalidated(b mem.Block) {
 
 // onInv invalidates a copy (or records that there is nothing to
 // invalidate) and always acknowledges immediately.
+//
+//stash:hotpath
 func (l *L1) onInv(m *Msg) {
 	ack := l.fab.newMsg(MsgInvAck, m.Block)
 	ack.From = l.id
@@ -805,6 +864,8 @@ func (l *L1) onInv(m *Msg) {
 
 // onFetch downgrades an owned copy to Shared and returns its data (when
 // dirty). Retained=false tells the bank the copy is already gone.
+//
+//stash:hotpath
 func (l *L1) onFetch(m *Msg) {
 	resp := l.fab.newMsg(MsgFetchResp, m.Block)
 	resp.From = l.id
@@ -825,6 +886,8 @@ func (l *L1) onFetch(m *Msg) {
 
 // onDiscover answers a stash discovery probe, applying the requested
 // action (downgrade or invalidate) to a found copy.
+//
+//stash:hotpath
 func (l *L1) onDiscover(m *Msg) {
 	l.discoverProbes.Inc()
 	resp := l.fab.newMsg(MsgDiscoverResp, m.Block)

@@ -204,6 +204,9 @@ type msgPool struct {
 }
 
 // get returns a zeroed message.
+//
+//stash:acquire
+//stash:hotpath
 func (p *msgPool) get() *Msg {
 	p.inUse++
 	if p.inUse > p.high {
@@ -211,7 +214,7 @@ func (p *msgPool) get() *Msg {
 	}
 	n := len(p.freeList)
 	if n == 0 {
-		return &Msg{}
+		return &Msg{} //stash:ignore hotpath pool warm-up; amortized away by reuse
 	}
 	m := p.freeList[n-1]
 	p.freeList = p.freeList[:n-1]
@@ -223,6 +226,9 @@ func (p *msgPool) get() *Msg {
 // property tests enable it) the payload is stamped with garbage so any
 // use-after-release trips a protocol panic instead of silently reading
 // stale fields.
+//
+//stash:release
+//stash:hotpath
 func (p *msgPool) put(m *Msg) {
 	if m.free {
 		panic("coherence: message released twice")

@@ -21,6 +21,8 @@ type SliceSource struct {
 }
 
 // Next implements AccessSource.
+//
+//stash:hotpath
 func (s *SliceSource) Next() (mem.Access, bool) {
 	if s.pos >= len(s.Accesses) {
 		return mem.Access{}, false
@@ -99,6 +101,8 @@ func (p *Processor) L1() *L1 { return p.l1 }
 
 // pump issues accesses while MSHRs are free, pacing issues one think-time
 // apart.
+//
+//stash:hotpath
 func (p *Processor) pump() {
 	if p.issuing || p.exhausted || p.outstanding >= p.mshrs {
 		return
@@ -108,6 +112,8 @@ func (p *Processor) pump() {
 }
 
 // issue is the core.issue event body.
+//
+//stash:hotpath
 func (p *Processor) issue() {
 	p.issuing = false
 	if p.exhausted || p.outstanding >= p.mshrs {
@@ -124,6 +130,7 @@ func (p *Processor) issue() {
 	p.pump()
 }
 
+//stash:hotpath
 func (p *Processor) maybeFinish() {
 	if p.exhausted && p.outstanding == 0 && !p.finished {
 		p.finished = true

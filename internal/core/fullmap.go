@@ -88,6 +88,7 @@ func (d *FullMap) OccupiedEntries() int { return len(d.entries) }
 // audits are deterministic.
 func (d *FullMap) ForEach(fn func(*Entry)) {
 	blocks := make([]mem.Block, 0, len(d.entries))
+	//stash:ignore determinism keys are sorted before use
 	for b := range d.entries {
 		blocks = append(blocks, b)
 	}

@@ -148,16 +148,45 @@ func New(engine *sim.Engine, cfg Config) (*Mesh, error) {
 	}
 	m.latency = m.set.Histogram("latency")
 	m.delivered = m.set.Counter("delivered")
-	m.deliverFn = func(arg any) {
-		msg := arg.(*Message)
-		m.delivered.Inc()
-		m.endpoints[msg.Dst].Deliver(msg)
-		if msg.pooled {
-			msg.Payload = nil
-			m.free = append(m.free, msg)
-		}
-	}
+	// Bind the method value once: every in-flight message shares this one
+	// callback, so sends schedule delivery without allocating a closure.
+	m.deliverFn = m.deliver
 	return m, nil
+}
+
+// deliver hands an arrived message to its destination endpoint and recycles
+// a pooled envelope.
+//
+//stash:hotpath
+func (m *Mesh) deliver(arg any) {
+	msg := arg.(*Message)
+	m.delivered.Inc()
+	m.endpoints[msg.Dst].Deliver(msg)
+	if msg.pooled {
+		m.putMessage(msg)
+	}
+}
+
+// getMessage draws an envelope from the free list.
+//
+//stash:acquire
+//stash:hotpath
+func (m *Mesh) getMessage() *Message {
+	if n := len(m.free); n > 0 {
+		msg := m.free[n-1]
+		m.free = m.free[:n-1]
+		return msg
+	}
+	return &Message{pooled: true} //stash:ignore hotpath pool warm-up; amortized away by reuse
+}
+
+// putMessage returns a pooled envelope to the free list.
+//
+//stash:release
+//stash:hotpath
+func (m *Mesh) putMessage(msg *Message) {
+	msg.Payload = nil
+	m.free = append(m.free, msg)
 }
 
 // Nodes returns the number of mesh nodes.
@@ -215,7 +244,11 @@ func abs(v int) int {
 
 // Send routes msg from msg.Src to msg.Dst and schedules its delivery. It
 // returns the arrival cycle. Messages to self are delivered after the
-// router latency only (local turnaround), with no link traffic.
+// router latency only (local turnaround), with no link traffic. The mesh
+// owns msg until the destination endpoint's Deliver runs.
+//
+//stash:transfer
+//stash:hotpath
 func (m *Mesh) Send(msg *Message) sim.Cycle {
 	if msg.Flits < 1 {
 		panic("noc: message with no flits")
@@ -267,14 +300,10 @@ func (m *Mesh) Send(msg *Message) sim.Cycle {
 // Post sends a pooled message: the transfer envelope is recycled after
 // delivery, so the steady-state send path performs no allocation. The
 // payload's lifetime is the receiver's concern, exactly as with Send.
+//
+//stash:hotpath
 func (m *Mesh) Post(src, dst NodeID, class Class, flits int, payload any) sim.Cycle {
-	var msg *Message
-	if n := len(m.free); n > 0 {
-		msg = m.free[n-1]
-		m.free = m.free[:n-1]
-	} else {
-		msg = &Message{pooled: true}
-	}
+	msg := m.getMessage()
 	msg.Src, msg.Dst, msg.Class, msg.Flits, msg.Payload = src, dst, class, flits, payload
 	return m.Send(msg)
 }

@@ -57,6 +57,8 @@ type eventSlot struct {
 }
 
 // fire executes whichever form of callback the slot carries.
+//
+//stash:hotpath
 func (s *eventSlot) fire() {
 	if s.argFn != nil {
 		s.argFn(s.arg)
@@ -86,6 +88,7 @@ type ring struct {
 	n    int
 }
 
+//stash:hotpath
 func (r *ring) push(s eventSlot) {
 	if r.n == len(r.buf) {
 		r.grow()
@@ -94,6 +97,7 @@ func (r *ring) push(s eventSlot) {
 	r.n++
 }
 
+//stash:hotpath
 func (r *ring) pop() eventSlot {
 	// The popped slot is left stale rather than cleared: clearing a
 	// pointer-bearing struct costs a write barrier per event, and the slot
@@ -187,6 +191,8 @@ func (e *Engine) Pending() int { return len(e.heap) + e.wheelCount }
 
 // At schedules fn to run at the absolute cycle at, which must not be in the
 // past. Events at the same cycle run in scheduling order.
+//
+//stash:hotpath
 func (e *Engine) At(at Cycle, name string, fn Event) {
 	e.schedule(at, eventSlot{run: fn, name: name})
 }
@@ -194,21 +200,32 @@ func (e *Engine) At(at Cycle, name string, fn Event) {
 // AtArg schedules fn(arg) at the absolute cycle at. It shares At's sequence
 // counter and routing, so interleaved At/AtArg calls preserve scheduling
 // order exactly; the point of the arg form is that a long-lived fn plus a
-// pointer-shaped arg schedules without allocating a closure.
+// pointer-shaped arg schedules without allocating a closure. Ownership of a
+// pooled arg moves to the event queue until fn runs.
+//
+//stash:transfer
+//stash:hotpath
 func (e *Engine) AtArg(at Cycle, name string, fn func(any), arg any) {
 	e.schedule(at, eventSlot{argFn: fn, arg: arg, name: name})
 }
 
 // After schedules fn to run delay cycles from now.
+//
+//stash:hotpath
 func (e *Engine) After(delay Cycle, name string, fn Event) {
 	e.schedule(e.now+delay, eventSlot{run: fn, name: name})
 }
 
-// AfterArg schedules fn(arg) delay cycles from now (see AtArg).
+// AfterArg schedules fn(arg) delay cycles from now (see AtArg). Ownership
+// of a pooled arg moves to the event queue until fn runs.
+//
+//stash:transfer
+//stash:hotpath
 func (e *Engine) AfterArg(delay Cycle, name string, fn func(any), arg any) {
 	e.schedule(e.now+delay, eventSlot{argFn: fn, arg: arg, name: name})
 }
 
+//stash:hotpath
 func (e *Engine) schedule(at Cycle, s eventSlot) {
 	if at < e.now {
 		panic(fmt.Sprintf("sim: scheduling event %q at cycle %d, before now (%d)", s.name, at, e.now))
@@ -234,6 +251,7 @@ func (e *Engine) schedule(at Cycle, s eventSlot) {
 // events queued. Used by watchdogs and by tests that inject failures.
 func (e *Engine) Halt() { e.halted = true }
 
+//stash:hotpath
 func (e *Engine) heapPush(at Cycle, tie uint64, s eventSlot) {
 	var idx int32
 	if n := len(e.free); n > 0 {
@@ -261,6 +279,8 @@ func (e *Engine) heapPush(at Cycle, tie uint64, s eventSlot) {
 
 // heapPop removes the heap minimum and returns its payload, recycling the
 // arena slot.
+//
+//stash:hotpath
 func (e *Engine) heapPop() eventSlot {
 	top := e.heap[0]
 	n := len(e.heap) - 1
@@ -301,6 +321,8 @@ func (e *Engine) heapPop() eventSlot {
 // nextWheel returns the cycle of the earliest wheel event; it must only be
 // called with wheelCount > 0. The circular bitmap scan starts at now's
 // bucket and costs at most wheelWords+1 trailing-zero counts.
+//
+//stash:hotpath
 func (e *Engine) nextWheel() Cycle {
 	start := int(e.now) & wheelMask
 	wi, b0 := start>>6, uint(start&63)
@@ -318,6 +340,8 @@ func (e *Engine) nextWheel() Cycle {
 }
 
 // nextTime returns the cycle of the earliest pending event.
+//
+//stash:hotpath
 func (e *Engine) nextTime() (Cycle, bool) {
 	if e.wheelCount > 0 {
 		t := e.nextWheel()
@@ -338,6 +362,8 @@ func (e *Engine) nextTime() (Cycle, bool) {
 // routes a request into the wheel only once its cycle is fewer than
 // wheelSize cycles out), so this is exactly (cycle, seq) order.
 // Precondition: at least one event is pending.
+//
+//stash:hotpath
 func (e *Engine) popNext() eventSlot {
 	for {
 		if len(e.heap) > 0 && e.heap[0].at == e.now {
@@ -364,6 +390,8 @@ func (e *Engine) popNext() eventSlot {
 // Run executes events until the queue drains, limit events have run
 // (limit 0 means no limit), or Halt is called. It returns the number of
 // events executed by this call.
+//
+//stash:hotpath
 func (e *Engine) Run(limit uint64) uint64 {
 	var n uint64
 	e.halted = false
@@ -385,6 +413,8 @@ func (e *Engine) Run(limit uint64) uint64 {
 // RunUntil executes events with timestamps up to and including cycle end.
 // Events scheduled beyond end remain queued; the clock is left at the
 // timestamp of the last event executed (not advanced to end).
+//
+//stash:hotpath
 func (e *Engine) RunUntil(end Cycle) uint64 {
 	var n uint64
 	e.halted = false

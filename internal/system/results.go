@@ -94,6 +94,7 @@ func (r *Results) Clone() *Results {
 	c := *r
 	if r.FlitHopsByClass != nil {
 		c.FlitHopsByClass = make(map[string]int64, len(r.FlitHopsByClass))
+		//stash:ignore determinism map-to-map copy is order-insensitive
 		for k, v := range r.FlitHopsByClass {
 			c.FlitHopsByClass[k] = v
 		}

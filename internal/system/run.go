@@ -23,6 +23,26 @@ func log2(n int) uint {
 	return s
 }
 
+// Salts decorrelate the random-replacement streams of the different
+// structure kinds built from one run seed.
+const (
+	seedSaltDir int64 = 1 + iota
+	seedSaltL1
+	seedSaltL2
+	seedSaltLLC
+)
+
+// policySeed derives the seed for one structure's random replacement policy
+// from the run seed. Every structure kind draws from a distinct stream
+// (salt) and every instance gets a distinct offset, so no two tag arrays
+// share a victim sequence — yet the whole machine remains a pure function
+// of cfg.Seed. (Previously the directory seed was a bank-only constant and
+// the cache configs left Seed at zero, so cfg.Seed never reached the
+// random policy at all.)
+func policySeed(runSeed, salt int64, index int) int64 {
+	return runSeed*0x9E3779B9 + salt*0x1F123BB5 + int64(index)*7919 + 100
+}
+
 // buildDirectory constructs one bank's directory slice.
 func buildDirectory(c *Config, bank int) (core.Directory, error) {
 	perBank := c.DirEntriesPerBank()
@@ -32,7 +52,7 @@ func buildDirectory(c *Config, bank int) (core.Directory, error) {
 		Ways:       c.DirWays,
 		IndexShift: shift,
 		Policy:     c.ReplacementPolicy,
-		Seed:       int64(bank) + 100,
+		Seed:       policySeed(c.Seed, seedSaltDir, bank),
 	}
 	switch c.DirKind {
 	case DirFullMap:
@@ -44,6 +64,10 @@ func buildDirectory(c *Config, bank int) (core.Directory, error) {
 	case DirStashSS:
 		return core.NewStash(core.StashConfig{AssocConfig: assoc, StashSingletonShared: true})
 	case DirCuckoo:
+		// The cuckoo seed picks the hash functions — a structural property
+		// of the directory, like its geometry — so it stays a bank-only
+		// constant: varying the run seed changes victim choices, not which
+		// blocks collide, keeping capacity behavior comparable across seeds.
 		return core.NewCuckoo(core.CuckooConfig{
 			Ways:        c.DirWays,
 			SlotsPerWay: perBank / c.DirWays,
@@ -66,6 +90,7 @@ func Build(cfg Config) (*coherence.Fabric, []*coherence.Processor, error) {
 	if cfg.HasL2() {
 		l2 = &cache.Config{
 			Name: "l2", Sets: cfg.L2Sets, Ways: cfg.L2Ways, Policy: cfg.ReplacementPolicy,
+			Seed: policySeed(cfg.Seed, seedSaltL2, 0),
 		}
 	}
 	fab, err := coherence.NewFabric(coherence.BuildConfig{
@@ -73,11 +98,13 @@ func Build(cfg Config) (*coherence.Fabric, []*coherence.Processor, error) {
 		Mesh:   noc.DefaultConfig(shape[0], shape[1]),
 		L1: cache.Config{
 			Name: "l1", Sets: cfg.L1Sets, Ways: cfg.L1Ways, Policy: cfg.ReplacementPolicy,
+			Seed: policySeed(cfg.Seed, seedSaltL1, 0),
 		},
 		L2: l2,
 		LLC: cache.Config{
 			Name: "llc", Sets: cfg.LLCSetsPerBank, Ways: cfg.LLCWays,
 			IndexShift: log2(cfg.Cores), Policy: cfg.ReplacementPolicy,
+			Seed: policySeed(cfg.Seed, seedSaltLLC, 0),
 		},
 		NewDirectory: func(bank int) (core.Directory, error) {
 			return buildDirectory(&cfg, bank)

@@ -7,6 +7,7 @@ import (
 
 	"testing"
 
+	"repro/internal/cache"
 	"repro/internal/trace"
 	"repro/internal/workloads"
 )
@@ -197,6 +198,56 @@ func TestReproducibility(t *testing.T) {
 	}
 	if c.Cycles == a.Cycles && c.TotalFlitHops == a.TotalFlitHops {
 		t.Fatal("different seeds produced identical runs (suspicious)")
+	}
+}
+
+// TestSeedReachesReplacementPolicies pins the satellite fix for the
+// determinism audit: the run seed must reach every random replacement
+// policy (it used to stop at the trace generator, leaving the cache
+// configs at Seed 0 and the directory at a bank-only constant).
+func TestSeedReachesReplacementPolicies(t *testing.T) {
+	build := func(seed int64) ([]int64, error) {
+		c := tiny("barnes", DirStash, 0.25)
+		c.ReplacementPolicy = cache.Random
+		c.Seed = seed
+		fab, _, err := Build(c)
+		if err != nil {
+			return nil, err
+		}
+		return []int64{
+			fab.L1s[0].Cache().Config().Seed,
+			fab.L1s[1].Cache().Config().Seed,
+			fab.Banks[0].LLC().Config().Seed,
+		}, nil
+	}
+	a, err := build(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := build(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] == b[i] {
+			t.Errorf("structure %d: run seeds 1 and 2 produced the same policy seed %d", i, a[i])
+		}
+	}
+	if a[0] == a[1] {
+		t.Errorf("cores 0 and 1 share L1 policy seed %d; victim sequences march in lockstep", a[0])
+	}
+	// And the machine still runs (and reproduces) under the random policy.
+	run := func() *Results {
+		c := tiny("barnes", DirStash, 0.25)
+		c.ReplacementPolicy = cache.Random
+		r, err := Run(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	if x, y := run(), run(); x.Cycles != y.Cycles || x.TotalFlitHops != y.TotalFlitHops {
+		t.Fatalf("random policy runs with one seed diverged: %d vs %d cycles", x.Cycles, y.Cycles)
 	}
 }
 

@@ -196,6 +196,8 @@ func NewStream(mix Mix, core, cores, length int, seed int64) (*Stream, error) {
 }
 
 // pick returns an index in [0, n) — Zipf-skewed when configured.
+//
+//stash:hotpath
 func (s *Stream) pick(n int, z *rand.Zipf) int {
 	if z != nil {
 		return int(z.Uint64()) % n
@@ -204,6 +206,8 @@ func (s *Stream) pick(n int, z *rand.Zipf) int {
 }
 
 // Next implements the access-source contract.
+//
+//stash:hotpath
 func (s *Stream) Next() (mem.Access, bool) {
 	if s.pos >= s.length {
 		return mem.Access{}, false
@@ -267,6 +271,8 @@ func (s *Stream) Next() (mem.Access, bool) {
 }
 
 // Remaining returns how many accesses the stream will still produce.
+//
+//stash:hotpath
 func (s *Stream) Remaining() int { return s.length - s.pos }
 
 // RegionOf classifies a generated block address back into its region;

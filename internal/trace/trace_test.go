@@ -86,6 +86,51 @@ func TestStreamLengthAndDeterminism(t *testing.T) {
 	}
 }
 
+// TestMemoReplayMatchesFreshGeneration pins the memoization contract: a
+// stream served from the memo must be access-for-access identical to the
+// seeded generation it replaced. (TestStreamLengthAndDeterminism compares
+// two fresh generations — both streams there are built before either
+// publishes — so the replay path needs its own equivalence check.)
+func TestMemoReplayMatchesFreshGeneration(t *testing.T) {
+	// A seed no other test uses, so the first stream is guaranteed to
+	// generate rather than replay.
+	const seed = 987_653
+	fresh, err := NewStream(validMix(), 3, 8, 400, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh.replay != nil {
+		t.Fatal("first stream unexpectedly served from the memo")
+	}
+	var want []mem.Access
+	for {
+		a, ok := fresh.Next()
+		if !ok {
+			break
+		}
+		want = append(want, a)
+	}
+	replayed, err := NewStream(validMix(), 3, 8, 400, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replayed.replay == nil {
+		t.Fatal("second stream with the same key did not hit the memo")
+	}
+	for i := 0; ; i++ {
+		a, ok := replayed.Next()
+		if !ok {
+			if i != len(want) {
+				t.Fatalf("replay ended after %d accesses, fresh produced %d", i, len(want))
+			}
+			break
+		}
+		if i >= len(want) || a != want[i] {
+			t.Fatalf("replay diverged from fresh generation at access %d", i)
+		}
+	}
+}
+
 func TestStreamSeedsAndCoresDiffer(t *testing.T) {
 	collect := func(core int, seed int64) []mem.Access {
 		s, _ := NewStream(validMix(), core, 8, 200, seed)
