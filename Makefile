@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: ci build test race vet lint bench bench-engine bench-protocol bench-smoke
+.PHONY: ci build test race vet lint lint-fast ignore-budget bench bench-engine bench-protocol bench-smoke
 
 ci: lint race bench-smoke bench-protocol
 
@@ -17,10 +17,32 @@ vet:
 	$(GO) vet ./...
 
 # lint is vet plus the repo's own analyzers (cmd/stashvet): pool
-# ownership (poolcheck), hot-path zero-alloc (hotpath) and simulation
-# determinism (determinism). A finding fails the build.
-lint: vet
+# ownership (poolcheck), hot-path zero-alloc (hotpath), simulation
+# determinism (determinism), and the service-layer concurrency family —
+# lock discipline (lockcheck), cancellable blocking (ctxcheck), and
+# goroutine-send leaks (chanleak). A finding fails the build, as does an
+# ignore count above the committed budget.
+lint: vet ignore-budget
 	$(GO) run ./cmd/stashvet ./...
+
+# lint-fast skips go vet: just the stashvet analyzers, for tight
+# edit-check loops. Use `go run ./cmd/stashvet -run=<name> ./...` to
+# narrow further to one analyzer.
+lint-fast:
+	$(GO) run ./cmd/stashvet ./...
+
+# ignore-budget fails when the number of //stash:ignore escapes for the
+# concurrency analyzers grows beyond the committed baseline
+# (.stashvet-ignore-budget). Raising the budget is a reviewed change;
+# silently accreting suppressions is not.
+ignore-budget:
+	@count=$$(grep -rnE '^[^/"]*//stash:ignore (lockcheck|ctxcheck|chanleak)' --include='*.go' internal cmd 2>/dev/null | grep -v testdata | wc -l); \
+	budget=$$(cat .stashvet-ignore-budget); \
+	if [ "$$count" -gt "$$budget" ]; then \
+		echo "ignore-budget: $$count //stash:ignore escapes for concurrency analyzers exceed the budget of $$budget; fix the findings or review a budget raise in .stashvet-ignore-budget" >&2; \
+		grep -rnE '^[^/"]*//stash:ignore (lockcheck|ctxcheck|chanleak)' --include='*.go' internal cmd | grep -v testdata >&2; \
+		exit 1; \
+	fi
 
 test:
 	$(GO) test ./...

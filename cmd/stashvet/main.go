@@ -1,21 +1,29 @@
-// Command stashvet runs the repo's static-analysis suite: the three
-// analyzers that turn the simulator's runtime invariants into build-time
-// errors.
+// Command stashvet runs the repo's static-analysis suite: the analyzers
+// that turn the simulator's runtime invariants into build-time errors.
 //
 //	poolcheck    pooled values (coherence messages, TBEs, NoC envelopes)
 //	             must be released or ownership-transferred on every path
 //	hotpath      //stash:hotpath functions must not heap-allocate
 //	determinism  simulation packages must not read wall clocks, draw from
 //	             global math/rand, spawn goroutines, or iterate maps
+//	lockcheck    //stash:guardedby fields only touched with their mutex
+//	             held; unlock on every path; declared lock order respected
+//	ctxcheck     blocking service-layer operations must be cancellable or
+//	             annotated //stash:blocking; context.Context first in
+//	             parameter lists and never stored in structs
+//	chanleak     goroutine sends on locally-made channels need proven
+//	             buffer capacity or a guaranteed receiver
 //
 // Usage:
 //
-//	stashvet [packages]
+//	stashvet [-run=analyzer[,analyzer]] [packages]
 //
-// With no arguments it checks ./... from the enclosing module root. Exit
-// status is 1 if any diagnostic was reported, 2 on a load failure.
-// Diagnostics are suppressed by an adjacent "//stash:ignore <analyzer>
-// <reason>" comment; see DESIGN.md's "Static analysis" section.
+// With no arguments it checks ./... from the enclosing module root. -run
+// restricts the pass to a subset of analyzers by name; an unknown name is a
+// usage error (exit 2). Exit status is 1 if any diagnostic was reported, 2
+// on a load failure. Diagnostics are suppressed by an adjacent
+// "//stash:ignore <analyzer> <reason>" comment; see DESIGN.md's "Static
+// analysis" section.
 package main
 
 import (
@@ -24,8 +32,11 @@ import (
 	"os"
 
 	"repro/internal/analysis"
+	"repro/internal/analysis/chanleak"
+	"repro/internal/analysis/ctxcheck"
 	"repro/internal/analysis/determinism"
 	"repro/internal/analysis/hotpath"
+	"repro/internal/analysis/lockcheck"
 	"repro/internal/analysis/poolcheck"
 )
 
@@ -33,16 +44,26 @@ var analyzers = []*analysis.Analyzer{
 	poolcheck.Analyzer,
 	hotpath.Analyzer,
 	determinism.Analyzer,
+	lockcheck.Analyzer,
+	ctxcheck.Analyzer,
+	chanleak.Analyzer,
 }
+
+var runFlag = flag.String("run", "", "comma-separated analyzer names to run (default: all)")
 
 func main() {
 	flag.Usage = usage
 	flag.Parse()
-	os.Exit(analysis.Main(os.Stdout, analyzers, flag.Args()))
+	selected, err := analysis.Filter(analyzers, *runFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	os.Exit(analysis.Main(os.Stdout, selected, flag.Args()))
 }
 
 func usage() {
-	fmt.Fprintf(os.Stderr, "usage: stashvet [packages]\n\nanalyzers:\n")
+	fmt.Fprintf(os.Stderr, "usage: stashvet [-run=analyzer[,analyzer]] [packages]\n\nanalyzers:\n")
 	for _, a := range analyzers {
 		fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, a.Doc)
 	}

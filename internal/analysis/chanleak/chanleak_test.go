@@ -1,0 +1,30 @@
+package chanleak_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/chanleak"
+)
+
+func TestChanleak(t *testing.T) {
+	analysistest.Run(t, chanleak.Analyzer, "./src/internal/stashd")
+}
+
+func TestAppliesTo(t *testing.T) {
+	cases := []struct {
+		pkg  string
+		want bool
+	}{
+		{"repro/internal/runner", true},
+		{"repro/internal/stashd", true},
+		{"fixture/src/internal/stashd", true},
+		{"repro/internal/analysis", false},
+		{"repro/cmd/stashd", false},
+	}
+	for _, c := range cases {
+		if got := chanleak.AppliesTo(c.pkg); got != c.want {
+			t.Errorf("AppliesTo(%q) = %v, want %v", c.pkg, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,112 @@
+// Package stashd exercises the chanleak analyzer: goroutine sends must be
+// covered by proven buffer capacity or a guaranteed receiver.
+package stashd
+
+// jobErr is the RunAll/handleSweep shape: one goroutine per job, buffer
+// sized len(jobs), one send each. Clean even if the receive loop bails.
+func jobErr(jobs []int, run func(int) error) error {
+	errc := make(chan error, len(jobs))
+	for _, j := range jobs {
+		go func(j int) {
+			errc <- run(j)
+		}(j)
+	}
+	var first error
+	for range jobs {
+		if err := <-errc; err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// leak is the PR-2 sweep bug: unbuffered send, receiver that may give up.
+func leak(signal func()) {
+	done := make(chan struct{})
+	go func() {
+		signal()
+		done <- struct{}{} // want `send on done may block forever`
+	}()
+	select {
+	case <-done:
+	default:
+	}
+}
+
+// attempt is the runOnce shape: the recover-guarded send and the normal
+// send are mutually exclusive, so capacity 1 covers the goroutine.
+func attempt(f func() int) int {
+	ch := make(chan int, 1)
+	go func() {
+		defer func() {
+			if recover() != nil {
+				ch <- -1
+			}
+		}()
+		ch <- f()
+	}()
+	select {
+	case v := <-ch:
+		return v
+	default:
+		return 0
+	}
+}
+
+// fanout buffers to len(src) but spawns per element of extra.
+func fanout(src, extra []int) <-chan int {
+	out := make(chan int, len(src))
+	for _, v := range extra {
+		go func(v int) {
+			out <- v // want `not spawned exactly once per element`
+		}(v)
+	}
+	return out
+}
+
+// double oversubscribes a capacity-1 buffer with no guaranteed receiver.
+func double(ready bool) {
+	ch := make(chan int, 1)
+	go func() {
+		ch <- 1
+		ch <- 2 // want `capacity 1 and 0 guaranteed receive`
+	}()
+	if ready {
+		<-ch
+	}
+}
+
+// pump sends an unbounded number of values against a fixed buffer.
+func pump(vals []int) <-chan int {
+	ch := make(chan int, 4)
+	go func() {
+		for _, v := range vals {
+			ch <- v // want `inside a loop in a spawned goroutine`
+		}
+	}()
+	return ch
+}
+
+// relay sends on a channel it did not make: the caller owns that contract.
+func relay(out chan int, v int) {
+	go func() {
+		out <- v
+	}()
+}
+
+// join covers an unbuffered send with an unconditional receive.
+func join(f func() error) error {
+	errc := make(chan error)
+	go func() { errc <- f() }()
+	return <-errc
+}
+
+// sidecar cannot be proven statically; the escape hatch documents why.
+func sidecar(tick func() int, consume func(<-chan int)) {
+	updates := make(chan int)
+	go func() {
+		//stash:ignore chanleak consume is handed the channel and reads until process exit
+		updates <- tick()
+	}()
+	consume(updates)
+}

@@ -1,0 +1,91 @@
+package ctxcheck_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/ctxcheck"
+)
+
+func TestCtxcheck(t *testing.T) {
+	analysistest.Run(t, ctxcheck.Analyzer, "./src/internal/runner")
+}
+
+func TestAppliesTo(t *testing.T) {
+	cases := []struct {
+		pkg  string
+		want bool
+	}{
+		{"repro/internal/runner", true},
+		{"repro/internal/stashd", true},
+		{"fixture/src/internal/runner", true},
+		{"internal/runner", true},
+		{"repro/internal/runner/sub", false},
+		{"repro/internal/coherence", false},
+		{"repro/cmd/stashd", false},
+	}
+	for _, c := range cases {
+		if got := ctxcheck.AppliesTo(c.pkg); got != c.want {
+			t.Errorf("AppliesTo(%q) = %v, want %v", c.pkg, got, c.want)
+		}
+	}
+}
+
+// TestBlockingDirectiveHygiene covers what fixtures cannot: a malformed
+// //stash:blocking (no reason) and an unused one each produce a finding.
+// Directive comments occupy whole lines, so a // want comment cannot share
+// them in the analysistest fixture.
+func TestBlockingDirectiveHygiene(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, filepath.Join(dir, "go.mod"), "module fix\n\ngo 1.22\n")
+	writeFile(t, filepath.Join(dir, "internal", "runner", "r.go"), `package runner
+
+func recv(in <-chan int) int {
+	//stash:blocking
+	return <-in
+}
+
+func clean() int {
+	//stash:blocking nothing actually blocks below
+	return 0
+}
+`)
+
+	findings, err := analysis.RunPatterns(dir, []string{"./..."}, []*analysis.Analyzer{ctxcheck.Analyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSubstrings := map[int]string{
+		4: "malformed //stash:blocking",
+		5: "blocking channel receive",
+		9: "unused //stash:blocking",
+	}
+	for _, f := range findings {
+		want, ok := wantSubstrings[f.Position.Line]
+		if !ok {
+			t.Errorf("unexpected finding: %s", f)
+			continue
+		}
+		if !strings.Contains(f.Message, want) {
+			t.Errorf("line %d: message %q does not contain %q", f.Position.Line, f.Message, want)
+		}
+		delete(wantSubstrings, f.Position.Line)
+	}
+	for line, want := range wantSubstrings {
+		t.Errorf("line %d: missing finding containing %q", line, want)
+	}
+}
+
+func writeFile(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

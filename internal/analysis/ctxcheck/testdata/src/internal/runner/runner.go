@@ -1,0 +1,94 @@
+// Package runner exercises the ctxcheck analyzer: cancellable blocking
+// operations, //stash:blocking exemptions, context parameter position and
+// context struct fields.
+package runner
+
+import (
+	"context"
+	"sync"
+)
+
+// Job carries the sanctioned struct-context exception.
+type Job struct {
+	id int
+	//stash:ignore ctxcheck execution context is owned by the job lifecycle and cancelled on eviction
+	execCtx context.Context
+}
+
+type sneaky struct {
+	ctx context.Context // want `context.Context stored in a struct`
+}
+
+// produce is the canonical cancellable send: clean.
+func produce(ctx context.Context, out chan<- int) {
+	select {
+	case out <- 1:
+	case <-ctx.Done():
+	}
+}
+
+func push(out chan<- int) {
+	out <- 1 // want `blocking channel send with no cancellation path`
+}
+
+func pull(in <-chan int) int {
+	return <-in // want `blocking channel receive with no cancellation path`
+}
+
+func pullAnnotated(in <-chan int) int {
+	//stash:blocking the producer sends exactly once and is joined by the caller
+	return <-in
+}
+
+// tryPush has a default case, so the select cannot block: clean.
+func tryPush(out chan<- int) bool {
+	select {
+	case out <- 1:
+		return true
+	default:
+		return false
+	}
+}
+
+func relay(a, b <-chan int) int {
+	select { // want `blocking select with no ctx.Done\(\) case or default`
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}
+
+func drain(in <-chan int) (n int) {
+	for range in { // want `blocking range over a channel`
+		n++
+	}
+	return n
+}
+
+// closeAll is exempt for its whole body, the runner.Close pattern.
+//
+//stash:blocking close waits for workers to drain; callers expect it to join
+func closeAll(wg *sync.WaitGroup) {
+	wg.Wait()
+}
+
+func joinAll(wg *sync.WaitGroup) {
+	wg.Wait() // want `blocking sync\.WaitGroup\.Wait with no cancellation path`
+}
+
+func await(c *sync.Cond) {
+	c.Wait() //stash:blocking woken by broadcast on shutdown; lifecycle owned by the pool
+}
+
+func misplaced(id int, ctx context.Context) *Job { // want `context.Context must be the first parameter`
+	_ = ctx
+	return &Job{id: id}
+}
+
+// spawn's goroutine body is chanleak's domain, not ctxcheck's: clean here.
+func spawn(out chan int) {
+	go func() {
+		out <- 1
+	}()
+}

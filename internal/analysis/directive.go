@@ -33,6 +33,26 @@ const (
 	// <reason>" on the flagged line or the line above it. The reason is
 	// mandatory; a bare ignore is itself reported.
 	DirectiveIgnore = "ignore"
+	// DirectiveGuardedBy marks a struct field as protected by a mutex:
+	// "//stash:guardedby mu" (a sibling field of the same struct) or
+	// "//stash:guardedby Runner.mu" (a field of another type that owns this
+	// value). Enforced by the lockcheck analyzer.
+	DirectiveGuardedBy = "guardedby"
+	// DirectiveLocked marks a function or method that must only be called
+	// with the named mutex held: "//stash:locked mu" (the receiver's own
+	// mutex) or "//stash:locked Runner.mu". lockcheck assumes the lock held
+	// inside the body and verifies it at every call site.
+	DirectiveLocked = "locked"
+	// DirectiveLockOrder declares one edge of the package's mutex partial
+	// order: "//stash:lockorder Runner.mu < Job.mu" means Job.mu may be
+	// acquired while Runner.mu is held, never the reverse. lockcheck takes
+	// the transitive closure and flags back-edges.
+	DirectiveLockOrder = "lockorder"
+	// DirectiveBlocking exempts a blocking operation from ctxcheck's
+	// cancellability requirement: "//stash:blocking <reason>" on a function's
+	// doc comment covers its whole body; on a statement's line it covers
+	// that operation.
+	DirectiveBlocking = "blocking"
 )
 
 const directivePrefix = "//stash:"
@@ -43,9 +63,11 @@ type Directive struct {
 	Args string // everything after the verb, trimmed
 }
 
-// parseDirective parses a single comment, returning ok=false for ordinary
-// comments.
-func parseDirective(text string) (Directive, bool) {
+// ParseDirective parses a single comment, returning ok=false for ordinary
+// comments. Analyzers that need the comment's position (lockcheck's
+// lockorder declarations, ctxcheck's line-level blocking exemptions) parse
+// comment lists themselves with this instead of FuncDirectives.
+func ParseDirective(text string) (Directive, bool) {
 	if !strings.HasPrefix(text, directivePrefix) {
 		return Directive{}, false
 	}
@@ -66,7 +88,7 @@ func FuncDirectives(doc *ast.CommentGroup) []Directive {
 	}
 	var out []Directive
 	for _, c := range doc.List {
-		if d, ok := parseDirective(c.Text); ok {
+		if d, ok := ParseDirective(c.Text); ok {
 			out = append(out, d)
 		}
 	}

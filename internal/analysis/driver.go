@@ -92,6 +92,39 @@ func RunLoaded(res *load.Result, analyzers []*Analyzer) ([]Finding, error) {
 	return findings, nil
 }
 
+// Filter narrows analyzers to the comma-separated names in sel, preserving
+// registration order. An empty sel keeps every analyzer; an unknown name is
+// an error listing what exists, so a typo cannot silently skip a check.
+func Filter(analyzers []*Analyzer, sel string) ([]*Analyzer, error) {
+	if sel == "" {
+		return analyzers, nil
+	}
+	byName := map[string]*Analyzer{}
+	known := make([]string, 0, len(analyzers))
+	for _, a := range analyzers {
+		byName[a.Name] = a
+		known = append(known, a.Name)
+	}
+	want := map[string]bool{}
+	for _, name := range strings.Split(sel, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		if byName[name] == nil {
+			return nil, fmt.Errorf("unknown analyzer %q (have %s)", name, strings.Join(known, ", "))
+		}
+		want[name] = true
+	}
+	var out []*Analyzer
+	for _, a := range analyzers {
+		if want[a.Name] {
+			out = append(out, a)
+		}
+	}
+	return out, nil
+}
+
 // Main is the cmd/stashvet entry point: run the analyzers over the patterns
 // (default ./...) and print findings. It returns the process exit code.
 func Main(out io.Writer, analyzers []*Analyzer, args []string) int {
@@ -134,7 +167,7 @@ func newSuppressions(fset *token.FileSet, files []*ast.File) *suppressions {
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				d, ok := parseDirective(c.Text)
+				d, ok := ParseDirective(c.Text)
 				if !ok || d.Verb != DirectiveIgnore {
 					continue
 				}

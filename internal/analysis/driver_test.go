@@ -1,8 +1,11 @@
 package analysis_test
 
 import (
+	"fmt"
+	"go/ast"
 	"os"
 	"path/filepath"
+	"slices"
 	"strings"
 	"testing"
 
@@ -99,6 +102,143 @@ func TestMainExitCodes(t *testing.T) {
 	out.Reset()
 	if code := analysis.Main(&out, []*analysis.Analyzer{quiet}, []string{"./no/such/dir"}); code != 2 {
 		t.Errorf("bad pattern: exit %d, want 2 (output: %s)", code, out.String())
+	}
+}
+
+// TestFilter pins the -run flag semantics: empty keeps all, a subset keeps
+// registration order, an unknown name errors instead of silently skipping.
+func TestFilter(t *testing.T) {
+	mk := func(name string) *analysis.Analyzer {
+		return &analysis.Analyzer{Name: name, Doc: name, Run: func(*analysis.Pass) error { return nil }}
+	}
+	all := []*analysis.Analyzer{mk("poolcheck"), mk("lockcheck"), mk("ctxcheck")}
+
+	got, err := analysis.Filter(all, "")
+	if err != nil || len(got) != 3 {
+		t.Errorf("Filter(all, \"\") = %d analyzers, %v; want all 3, nil", len(got), err)
+	}
+	got, err = analysis.Filter(all, "ctxcheck, poolcheck")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Name != "poolcheck" || got[1].Name != "ctxcheck" {
+		t.Errorf("Filter subset = %v; want [poolcheck ctxcheck] in registration order", names(got))
+	}
+	if _, err := analysis.Filter(all, "lockchek"); err == nil {
+		t.Error("Filter with a misspelled analyzer: want error, got nil")
+	} else if !strings.Contains(err.Error(), "lockchek") || !strings.Contains(err.Error(), "poolcheck") {
+		t.Errorf("error %q should name the typo and the known analyzers", err)
+	}
+}
+
+func names(as []*analysis.Analyzer) []string {
+	var out []string
+	for _, a := range as {
+		out = append(out, a.Name)
+	}
+	return out
+}
+
+// TestRunSubsetExitCodes drives Main through Filter the way cmd/stashvet
+// does: restricting the run to a quiet analyzer turns a failing tree green.
+func TestRunSubsetExitCodes(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, filepath.Join(dir, "go.mod"), "module fix\n\ngo 1.22\n")
+	writeFile(t, filepath.Join(dir, "a.go"), "package fix\n\nvar A = 1\n")
+	t.Chdir(dir)
+
+	quiet := &analysis.Analyzer{
+		Name: "quiet",
+		Doc:  "reports nothing",
+		Run:  func(*analysis.Pass) error { return nil },
+	}
+	noisy := &analysis.Analyzer{
+		Name: "noisy",
+		Doc:  "flags every file",
+		Run: func(p *analysis.Pass) error {
+			for _, f := range p.Files {
+				p.Reportf(f.Pos(), "flagged")
+			}
+			return nil
+		},
+	}
+	all := []*analysis.Analyzer{quiet, noisy}
+
+	var out strings.Builder
+	sel, err := analysis.Filter(all, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code := analysis.Main(&out, sel, []string{"./..."}); code != 1 {
+		t.Errorf("full run: exit %d, want 1 (noisy fires)", code)
+	}
+	out.Reset()
+	sel, err = analysis.Filter(all, "quiet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code := analysis.Main(&out, sel, []string{"./..."}); code != 0 {
+		t.Errorf("-run=quiet: exit %d, want 0 (output: %s)", code, out.String())
+	}
+}
+
+// TestMultiAnalyzerInterleave runs two analyzers over one fixture and checks
+// their findings interleave deterministically by file position, not by
+// analyzer registration order.
+func TestMultiAnalyzerInterleave(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, filepath.Join(dir, "go.mod"), "module fix\n\ngo 1.22\n")
+	writeFile(t, filepath.Join(dir, "a.go"), `package fix
+
+var A = 1
+
+var B = 2
+
+var C = 3
+`)
+
+	flagger := func(name string, lines ...int) *analysis.Analyzer {
+		return &analysis.Analyzer{
+			Name: name,
+			Doc:  "flags chosen lines",
+			Run: func(p *analysis.Pass) error {
+				for _, f := range p.Files {
+					ast.Inspect(f, func(n ast.Node) bool {
+						vs, ok := n.(*ast.ValueSpec)
+						if !ok {
+							return true
+						}
+						line := p.Fset.Position(vs.Pos()).Line
+						for _, l := range lines {
+							if line == l {
+								p.Reportf(vs.Pos(), "hit")
+							}
+						}
+						return true
+					})
+				}
+				return nil
+			},
+		}
+	}
+	// alpha fires on the outer lines, omega on the middle one: sorted
+	// output must sandwich omega between the alphas.
+	alpha := flagger("alpha", 3, 7)
+	omega := flagger("omega", 5)
+
+	want := []string{"alpha:3", "omega:5", "alpha:7"}
+	for run := 0; run < 3; run++ {
+		findings, err := analysis.RunPatterns(dir, []string{"."}, []*analysis.Analyzer{omega, alpha})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got []string
+		for _, f := range findings {
+			got = append(got, fmt.Sprintf("%s:%d", f.Analyzer, f.Position.Line))
+		}
+		if !slices.Equal(got, want) {
+			t.Fatalf("run %d: findings %v, want %v", run, got, want)
+		}
 	}
 }
 

@@ -16,13 +16,15 @@ const (
 	HitDisk   = "disk"
 )
 
-// memCache is a mutex-guarded LRU of completed results keyed by config key.
-// A non-positive capacity means unlimited (the experiment harness keeps
-// every run of a sweep alive; the server bounds it).
+// memCache is an LRU of completed results keyed by config key. A
+// non-positive capacity means unlimited (the experiment harness keeps every
+// run of a sweep alive; the server bounds it). It has no lock of its own:
+// the owning Runner's mutex guards it, which keeps cache probes atomic with
+// the inflight-job coalescing decisions made under the same lock.
 type memCache struct {
 	cap   int
-	ll    *list.List // front = most recently used
-	items map[string]*list.Element
+	ll    *list.List               //stash:guardedby Runner.mu
+	items map[string]*list.Element //stash:guardedby Runner.mu
 }
 
 type memEntry struct {
@@ -34,6 +36,7 @@ func newMemCache(capacity int) *memCache {
 	return &memCache{cap: capacity, ll: list.New(), items: make(map[string]*list.Element)}
 }
 
+//stash:locked Runner.mu
 func (c *memCache) get(key string) (*system.Results, bool) {
 	el, ok := c.items[key]
 	if !ok {
@@ -43,6 +46,7 @@ func (c *memCache) get(key string) (*system.Results, bool) {
 	return el.Value.(*memEntry).res, true
 }
 
+//stash:locked Runner.mu
 func (c *memCache) put(key string, res *system.Results) {
 	if el, ok := c.items[key]; ok {
 		c.ll.MoveToFront(el)

@@ -11,7 +11,10 @@ import (
 // estimates; a fixed ring bounds memory on long-lived servers.
 const latencyWindow = 1024
 
-// counters is the runner's internal mutable metric state.
+// counters is the runner's internal mutable metric state. Every counter is
+// a lock-free atomic — hot-path increments must not contend on a mutex —
+// and only the latency ring, whose three fields mutate together, takes a
+// lock.
 type counters struct {
 	queued    atomic.Int64
 	started   atomic.Int64
@@ -28,9 +31,9 @@ type counters struct {
 	inFlight atomic.Int64
 
 	latMu  sync.Mutex
-	lats   [latencyWindow]time.Duration
-	latLen int
-	latPos int
+	lats   [latencyWindow]time.Duration //stash:guardedby latMu
+	latLen int                          //stash:guardedby latMu
+	latPos int                          //stash:guardedby latMu
 }
 
 func (c *counters) recordLatency(d time.Duration) {

@@ -90,23 +90,24 @@ const (
 // cancelled. One client disconnecting therefore cannot fail a coalesced
 // job another client is still waiting on.
 type Job struct {
-	id      string
-	key     string
-	cfg     system.Config
+	id  string
+	key string
+	cfg system.Config
+	//stash:ignore ctxcheck the exec context is job-scoped by design: it must outlive any one submitter and is cancelled when the last waiter leaves
 	execCtx context.Context
 	cancel  context.CancelFunc
 	done    chan struct{}
 
 	mu         sync.Mutex
-	waiters    int
-	state      State
-	enqueuedAt time.Time
-	startedAt  time.Time
-	finishedAt time.Time
-	attempts   int
-	cacheHit   string
-	result     *system.Results
-	err        error
+	waiters    int             //stash:guardedby mu
+	state      State           //stash:guardedby mu
+	enqueuedAt time.Time       //stash:guardedby mu
+	startedAt  time.Time       //stash:guardedby mu
+	finishedAt time.Time       //stash:guardedby mu
+	attempts   int             //stash:guardedby mu
+	cacheHit   string          //stash:guardedby mu
+	result     *system.Results //stash:guardedby mu
+	err        error           //stash:guardedby mu
 }
 
 // ID returns the job's runner-unique identifier.
@@ -285,6 +286,13 @@ func IsTransient(err error) bool {
 
 // Runner executes simulation jobs. Create one with New and release it with
 // Close.
+//
+// Lock discipline: Runner.mu orders before Job.mu — submit registers waiters
+// (which lock the job) while holding the runner lock, so the reverse nesting
+// would deadlock. finish and process lock them strictly in sequence, never
+// nested the other way.
+//
+//stash:lockorder Runner.mu < Job.mu
 type Runner struct {
 	opts Options
 	// execute is the simulation backend; tests substitute it.
@@ -294,14 +302,17 @@ type Runner struct {
 	disk *diskCache
 	met  counters
 
-	mu       sync.Mutex
-	cond     *sync.Cond
-	pending  []*Job          // FIFO work queue
-	inflight map[string]*Job // key -> queued or running job
-	jobs     map[string]*Job // id -> job (bounded retention)
-	finished []string        // finished job ids, oldest first
-	seq      int
-	closed   bool
+	mu   sync.Mutex
+	cond *sync.Cond
+	// pending is the FIFO work queue; inflight maps key to its queued or
+	// running job; jobs maps id to job (bounded retention); finished holds
+	// finished job ids, oldest first.
+	pending  []*Job          //stash:guardedby mu
+	inflight map[string]*Job //stash:guardedby mu
+	jobs     map[string]*Job //stash:guardedby mu
+	finished []string        //stash:guardedby mu
+	seq      int             //stash:guardedby mu
+	closed   bool            //stash:guardedby mu
 	wg       sync.WaitGroup
 }
 
@@ -393,6 +404,7 @@ func (r *Runner) RunAll(ctx context.Context, cfgs []system.Config) error {
 	}
 	var firstErr error
 	for range jobs {
+		//stash:blocking every Wait honors ctx, which the first failure cancels, so each waiter goroutine delivers exactly one result
 		if err := <-errc; err != nil && firstErr == nil {
 			firstErr = err
 			cancel() // fail the remaining Waits promptly
@@ -489,8 +501,7 @@ func (r *Runner) submit(ctx context.Context, cfg system.Config) (*Job, *waiter, 
 			return j, &waiter{}, nil
 		}
 	}
-	j := r.newJobLocked(key, cfg)
-	j.state = StateQueued
+	j := r.newJobLocked(key, cfg, StateQueued)
 	j.execCtx, j.cancel = context.WithCancel(context.Background())
 	// Register before the job is published: no other goroutine can see j
 	// yet, so the fresh execCtx cannot be cancelled and w is never nil.
@@ -526,10 +537,16 @@ func (r *Runner) Close() {
 		r.cond.Broadcast()
 	}
 	r.mu.Unlock()
-	r.wg.Wait()
+	r.wg.Wait() //stash:blocking Close drains by contract: setting closed wakes every worker, queued jobs finish or fail fast
 }
 
-func (r *Runner) newJobLocked(key string, cfg system.Config) *Job {
+// newJobLocked constructs a job and publishes it in the job table. The
+// initial state is part of construction: the table makes the job visible to
+// Job/Status lookups, so mutating j.state after insertion would race them
+// (a finding lockcheck surfaced once the fields were annotated).
+//
+//stash:locked mu
+func (r *Runner) newJobLocked(key string, cfg system.Config, state State) *Job {
 	r.seq++
 	j := &Job{
 		id:         fmt.Sprintf("job-%06d", r.seq),
@@ -537,6 +554,7 @@ func (r *Runner) newJobLocked(key string, cfg system.Config) *Job {
 		cfg:        cfg,
 		done:       make(chan struct{}),
 		enqueuedAt: time.Now(),
+		state:      state,
 	}
 	r.jobs[j.id] = j
 	return j
@@ -546,12 +564,15 @@ func (r *Runner) newJobLocked(key string, cfg system.Config) *Job {
 // a deep copy of the cached result: the cache retains sole ownership of
 // its entry, so a caller mutating what it was handed cannot corrupt every
 // future hit on the same key.
+//
+//stash:locked mu
 func (r *Runner) completeFromCacheLocked(key string, cfg system.Config, res *system.Results, hit string) *Job {
-	j := r.newJobLocked(key, cfg)
-	j.state = StateDone
+	j := r.newJobLocked(key, cfg, StateDone)
+	j.mu.Lock()
 	j.cacheHit = hit
 	j.result = res.Clone()
 	j.finishedAt = j.enqueuedAt
+	j.mu.Unlock()
 	close(j.done)
 	r.met.queued.Add(1)
 	r.met.completed.Add(1)
@@ -564,13 +585,21 @@ func (r *Runner) completeFromCacheLocked(key string, cfg system.Config, res *sys
 	return j
 }
 
+// emitCached announces a cache-completed job. It runs after r.mu is
+// released, so the job is visible to concurrent Status readers; snapshot
+// the guarded fields under j.mu instead of reading them bare.
 func (r *Runner) emitCached(j *Job) {
-	r.emit(Event{Kind: EventQueued, JobID: j.id, Key: j.key, Config: j.cfg, CacheHit: j.cacheHit})
-	r.emit(Event{Kind: EventFinished, JobID: j.id, Key: j.key, Config: j.cfg, CacheHit: j.cacheHit, Result: j.result})
+	j.mu.Lock()
+	hit, res := j.cacheHit, j.result
+	j.mu.Unlock()
+	r.emit(Event{Kind: EventQueued, JobID: j.id, Key: j.key, Config: j.cfg, CacheHit: hit})
+	r.emit(Event{Kind: EventFinished, JobID: j.id, Key: j.key, Config: j.cfg, CacheHit: hit, Result: res})
 }
 
 // retainLocked records a finished job and evicts the oldest beyond the
 // retention bound so the job table cannot grow without limit.
+//
+//stash:locked mu
 func (r *Runner) retainLocked(j *Job) {
 	r.finished = append(r.finished, j.id)
 	for len(r.finished) > maxRetainedJobs {
@@ -584,7 +613,7 @@ func (r *Runner) worker() {
 	for {
 		r.mu.Lock()
 		for len(r.pending) == 0 && !r.closed {
-			r.cond.Wait()
+			r.cond.Wait() //stash:blocking woken by Signal on every submit and Broadcast on Close; the pool owns this goroutine
 		}
 		if len(r.pending) == 0 {
 			r.mu.Unlock()

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/system"
+	"repro/internal/testutil/leakcheck"
 )
 
 // tinyConfig is a real simulation small enough to run in a few
@@ -32,6 +33,7 @@ func fakeResults(cfg system.Config) *system.Results {
 }
 
 func TestKeyStableAndSensitive(t *testing.T) {
+	leakcheck.Check(t)
 	a, err := Key(tinyConfig(1))
 	if err != nil {
 		t.Fatal(err)
@@ -56,6 +58,7 @@ func TestKeyStableAndSensitive(t *testing.T) {
 }
 
 func TestRunRealSimulationAndMemoryHit(t *testing.T) {
+	leakcheck.Check(t)
 	r := New(Options{Workers: 1})
 	defer r.Close()
 	res, err := r.Run(context.Background(), tinyConfig(1))
@@ -85,6 +88,7 @@ func TestRunRealSimulationAndMemoryHit(t *testing.T) {
 }
 
 func TestDiskCachePersistsAcrossRunners(t *testing.T) {
+	leakcheck.Check(t)
 	dir := t.TempDir()
 	var executed atomic.Int64
 
@@ -123,6 +127,7 @@ func TestDiskCachePersistsAcrossRunners(t *testing.T) {
 }
 
 func TestCorruptedCacheFileIsMiss(t *testing.T) {
+	leakcheck.Check(t)
 	dir := t.TempDir()
 	cfg := tinyConfig(3)
 	key, err := Key(cfg)
@@ -165,6 +170,7 @@ func TestCorruptedCacheFileIsMiss(t *testing.T) {
 }
 
 func TestCancelledContextStopsSweepEarly(t *testing.T) {
+	leakcheck.Check(t)
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 
@@ -194,6 +200,7 @@ func TestCancelledContextStopsSweepEarly(t *testing.T) {
 }
 
 func TestRunAllStopsOnFirstError(t *testing.T) {
+	leakcheck.Check(t)
 	var executed atomic.Int64
 	r := New(Options{Workers: 1})
 	defer r.Close()
@@ -224,6 +231,7 @@ func TestRunAllStopsOnFirstError(t *testing.T) {
 }
 
 func TestTransientFailuresRetryThenSucceed(t *testing.T) {
+	leakcheck.Check(t)
 	var calls atomic.Int64
 	r := New(Options{Workers: 1, Retries: 2})
 	defer r.Close()
@@ -249,6 +257,7 @@ func TestTransientFailuresRetryThenSucceed(t *testing.T) {
 }
 
 func TestPanicIsRecoveredAndRetried(t *testing.T) {
+	leakcheck.Check(t)
 	var calls atomic.Int64
 	r := New(Options{Workers: 1, Retries: 1})
 	defer r.Close()
@@ -278,6 +287,7 @@ func TestPanicIsRecoveredAndRetried(t *testing.T) {
 }
 
 func TestDeterministicErrorsAreNotRetried(t *testing.T) {
+	leakcheck.Check(t)
 	var calls atomic.Int64
 	r := New(Options{Workers: 1, Retries: 5})
 	defer r.Close()
@@ -294,6 +304,7 @@ func TestDeterministicErrorsAreNotRetried(t *testing.T) {
 }
 
 func TestTimeoutAbandonsRun(t *testing.T) {
+	leakcheck.Check(t)
 	r := New(Options{Workers: 1, Timeout: 10 * time.Millisecond})
 	defer r.Close()
 	release := make(chan struct{})
@@ -309,6 +320,7 @@ func TestTimeoutAbandonsRun(t *testing.T) {
 }
 
 func TestConcurrentIdenticalSubmissionsCoalesce(t *testing.T) {
+	leakcheck.Check(t)
 	var executed atomic.Int64
 	r := New(Options{Workers: 4})
 	defer r.Close()
@@ -341,6 +353,7 @@ func TestConcurrentIdenticalSubmissionsCoalesce(t *testing.T) {
 // submitter's context, so that submitter cancelling killed every later
 // submitter coalesced onto the same job.
 func TestCoalescedJobSurvivesFirstSubmitterCancel(t *testing.T) {
+	leakcheck.Check(t)
 	started := make(chan struct{})
 	release := make(chan struct{})
 	r := New(Options{Workers: 1})
@@ -385,6 +398,7 @@ func TestCoalescedJobSurvivesFirstSubmitterCancel(t *testing.T) {
 // interested submitter is gone — a queued job with no live waiters must
 // not burn a worker.
 func TestAllWaitersGoneCancelsQueuedJob(t *testing.T) {
+	leakcheck.Check(t)
 	var executed atomic.Int64
 	release := make(chan struct{})
 	r := New(Options{Workers: 1})
@@ -438,6 +452,7 @@ func TestAllWaitersGoneCancelsQueuedJob(t *testing.T) {
 // with "cancelled before start" even though its own context was live.
 // Submit must detect the dead entry and replace it with a fresh job.
 func TestSubmitReplacesDeadInflightJob(t *testing.T) {
+	leakcheck.Check(t)
 	var executed atomic.Int64
 	release := make(chan struct{})
 	r := New(Options{Workers: 1})
@@ -507,6 +522,7 @@ func waitForExecCancelled(t *testing.T, j *Job) {
 // cache-aliasing bug: every memory-cache hit used to share one *Results,
 // so a caller mutating its result corrupted the cache for all future hits.
 func TestCacheHitResultsAreIsolated(t *testing.T) {
+	leakcheck.Check(t)
 	r := New(Options{Workers: 1})
 	defer r.Close()
 	r.execute = func(cfg system.Config) (*system.Results, error) {
@@ -544,6 +560,7 @@ func TestCacheHitResultsAreIsolated(t *testing.T) {
 }
 
 func TestCloseDrainsQueuedJobs(t *testing.T) {
+	leakcheck.Check(t)
 	var executed atomic.Int64
 	r := New(Options{Workers: 1})
 	r.execute = func(cfg system.Config) (*system.Results, error) {
@@ -574,6 +591,7 @@ func TestCloseDrainsQueuedJobs(t *testing.T) {
 }
 
 func TestJobLookupAndEvents(t *testing.T) {
+	leakcheck.Check(t)
 	var mu sync.Mutex
 	var kinds []EventKind
 	r := New(Options{Workers: 1, Events: func(e Event) {

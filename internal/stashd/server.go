@@ -10,6 +10,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"sync"
 	"time"
 
 	"repro/internal/runner"
@@ -27,6 +28,9 @@ type Server struct {
 	runner *runner.Runner
 	mux    *http.ServeMux
 	start  time.Time
+
+	mu           sync.Mutex
+	activeSweeps int //stash:guardedby mu
 }
 
 // NewServer wraps a runner in the HTTP API. The caller keeps ownership of
@@ -104,6 +108,9 @@ func (s *Server) handleSweep(w http.ResponseWriter, req *http.Request) {
 		return
 	}
 
+	s.beginSweep()
+	defer s.endSweep()
+
 	// Submit everything up front (the runner queues and deduplicates),
 	// then stream one line per job in completion order. A client
 	// disconnect cancels req.Context(), which aborts still-queued jobs.
@@ -153,7 +160,15 @@ func (s *Server) handleSweep(w http.ResponseWriter, req *http.Request) {
 	var done SweepLine
 	done.Type = "done"
 	for range jobs {
-		line := <-lines
+		var line SweepLine
+		select {
+		case line = <-lines:
+		case <-req.Context().Done():
+			// The client is gone: return instead of shoveling the rest of
+			// the sweep into a dead connection. The buffered channel lets
+			// the remaining waiter goroutines deliver their lines and exit.
+			return
+		}
 		done.Jobs++
 		if line.CacheHit != "" {
 			done.CacheHits++
@@ -170,6 +185,26 @@ func (s *Server) handleSweep(w http.ResponseWriter, req *http.Request) {
 	}
 	done.ElapsedMS = float64(time.Since(start)) / float64(time.Millisecond)
 	enc.Encode(done)
+}
+
+// beginSweep and endSweep maintain the active-sweep gauge reported by
+// /metrics, so an operator can see streams in flight (and streams stuck).
+func (s *Server) beginSweep() {
+	s.mu.Lock()
+	s.activeSweeps++
+	s.mu.Unlock()
+}
+
+func (s *Server) endSweep() {
+	s.mu.Lock()
+	s.activeSweeps--
+	s.mu.Unlock()
+}
+
+func (s *Server) activeSweepCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.activeSweeps
 }
 
 func (s *Server) handleJob(w http.ResponseWriter, req *http.Request) {
@@ -199,6 +234,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintf(w, "stashd_cache_misses_total %d\n", m.CacheMisses)
 	fmt.Fprintf(w, "stashd_cache_write_errors_total %d\n", m.CacheWriteErrors)
 	fmt.Fprintf(w, "stashd_inflight_workers %d\n", m.InFlight)
+	fmt.Fprintf(w, "stashd_active_sweeps %d\n", s.activeSweepCount())
 	fmt.Fprintf(w, "stashd_run_latency_p50_ms %.3f\n", ms(m.RunLatencyP50))
 	fmt.Fprintf(w, "stashd_run_latency_p95_ms %.3f\n", ms(m.RunLatencyP95))
 	fmt.Fprintf(w, "stashd_uptime_seconds %.0f\n", time.Since(s.start).Seconds())

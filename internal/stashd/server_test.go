@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"repro/internal/runner"
+	"repro/internal/testutil/leakcheck"
 )
 
 // tinyBase is a request base small enough that one simulation takes a few
@@ -117,6 +118,7 @@ func metricValue(t *testing.T, ts *httptest.Server, name string) float64 {
 }
 
 func TestRunEndpointAndJobStatus(t *testing.T) {
+	leakcheck.Check(t)
 	ts, _ := newTestServer(t, "")
 
 	req := tinyBase()
@@ -166,6 +168,7 @@ func TestRunEndpointAndJobStatus(t *testing.T) {
 }
 
 func TestBadRequestsRejected(t *testing.T) {
+	leakcheck.Check(t)
 	ts, _ := newTestServer(t, "")
 	for name, body := range map[string]any{
 		"no workload":      RunRequest{Quick: true},
@@ -196,6 +199,7 @@ func TestBadRequestsRejected(t *testing.T) {
 // most once (coalescing or cache hits cover the overlap), and a third
 // identical sweep is served entirely from cache, which /metrics reports.
 func TestConcurrentSweepsShareDiskCache(t *testing.T) {
+	leakcheck.Check(t)
 	dir := t.TempDir()
 	ts, _ := newTestServer(t, dir)
 	sweep := tinySweep()
@@ -258,6 +262,7 @@ func TestConcurrentSweepsShareDiskCache(t *testing.T) {
 }
 
 func TestSweepDefaultsAndResultsConsistency(t *testing.T) {
+	leakcheck.Check(t)
 	ts, _ := newTestServer(t, "")
 	// Explicit single-workload sweep over the default kind/coverage axes
 	// would be 12 runs; narrow the axes but leave kinds to the default.
@@ -291,6 +296,7 @@ func TestSweepDefaultsAndResultsConsistency(t *testing.T) {
 // client disconnect mid-stream stranded every remaining waiter goroutine
 // on a send nobody would ever receive.
 func TestSweepClientDisconnectLeaksNoGoroutines(t *testing.T) {
+	leakcheck.Check(t)
 	// One worker and deliberately slower simulations keep most of the
 	// sweep queued while the client walks away mid-stream.
 	r := runner.New(runner.Options{Workers: 1})
@@ -347,6 +353,7 @@ func TestSweepClientDisconnectLeaksNoGoroutines(t *testing.T) {
 // /run completes has no usable response; the handler must not report the
 // cancellation as a simulation failure.
 func TestRunClientCancellationIsNotA500(t *testing.T) {
+	leakcheck.Check(t)
 	r := runner.New(runner.Options{Workers: 1})
 	defer r.Close()
 	srv := NewServer(r)
@@ -373,6 +380,7 @@ func TestRunClientCancellationIsNotA500(t *testing.T) {
 }
 
 func TestMetricsEndpointShape(t *testing.T) {
+	leakcheck.Check(t)
 	ts, _ := newTestServer(t, "")
 	resp, err := http.Get(ts.URL + "/metrics")
 	if err != nil {

@@ -1,0 +1,57 @@
+package leakcheck
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestVerifyCatchesLeak parks a goroutine on a channel, confirms verify
+// reports its stack, then releases it and confirms verify comes up clean.
+func TestVerifyCatchesLeak(t *testing.T) {
+	base := snapshot()
+
+	release := make(chan struct{})
+	go func() {
+		<-release
+	}()
+
+	report, ok := verify(base, 50*time.Millisecond)
+	if ok {
+		t.Fatal("verify passed with a parked goroutine outstanding")
+	}
+	if !strings.Contains(report, "leakcheck_test") {
+		t.Errorf("report does not name the leaking test file:\n%s", report)
+	}
+
+	close(release)
+	if report, ok := verify(base, grace); !ok {
+		t.Errorf("goroutine still reported after release:\n%s", report)
+	}
+}
+
+// TestVerifyIgnoresBaseline checks pre-existing goroutines never count.
+func TestVerifyIgnoresBaseline(t *testing.T) {
+	release := make(chan struct{})
+	go func() {
+		<-release
+	}()
+	defer close(release)
+
+	// The parked goroutine predates this snapshot, so it is baseline.
+	base := snapshot()
+	if report, ok := verify(base, 50*time.Millisecond); !ok {
+		t.Errorf("baseline goroutine reported as a leak:\n%s", report)
+	}
+}
+
+// TestCheckClean arms the real gate on a test that leaks nothing; the
+// registered cleanup must pass when the test ends.
+func TestCheckClean(t *testing.T) {
+	Check(t)
+	done := make(chan struct{})
+	go func() {
+		close(done)
+	}()
+	<-done
+}
