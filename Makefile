@@ -6,9 +6,9 @@
 
 GO ?= go
 
-.PHONY: ci build test race vet lint lint-fast ignore-budget bench bench-engine bench-protocol bench-smoke
+.PHONY: ci build test race vet lint lint-fast ignore-budget parallel-budget bench bench-engine bench-protocol bench-psim bench-smoke bench-psim-smoke race-psim
 
-ci: lint race bench-smoke bench-protocol
+ci: lint race race-psim bench-smoke bench-psim-smoke bench-protocol
 
 build:
 	$(GO) build ./...
@@ -22,7 +22,7 @@ vet:
 # lock discipline (lockcheck), cancellable blocking (ctxcheck), and
 # goroutine-send leaks (chanleak). A finding fails the build, as does an
 # ignore count above the committed budget.
-lint: vet ignore-budget
+lint: vet ignore-budget parallel-budget
 	$(GO) run ./cmd/stashvet ./...
 
 # lint-fast skips go vet: just the stashvet analyzers, for tight
@@ -44,11 +44,32 @@ ignore-budget:
 		exit 1; \
 	fi
 
+# parallel-budget bounds the //stash:parallel goroutine sanctions the same
+# way ignore-budget bounds analyzer suppressions: the parallel engine is
+# allowed its worker spawn, and growth beyond the committed baseline
+# (.stashvet-parallel-budget) is a reviewed change. Test files are out of
+# scope (the determinism analyzer's own hygiene tests embed directives in
+# string fixtures), as are testdata fixtures.
+parallel-budget:
+	@count=$$(grep -rnE '^[^/"]*//stash:parallel ' --include='*.go' --exclude='*_test.go' internal cmd 2>/dev/null | grep -v testdata | wc -l); \
+	budget=$$(cat .stashvet-parallel-budget); \
+	if [ "$$count" -gt "$$budget" ]; then \
+		echo "parallel-budget: $$count //stash:parallel sanctions exceed the budget of $$budget; every new worker spawn in simulation code is a reviewed change (.stashvet-parallel-budget)" >&2; \
+		grep -rnE '^[^/"]*//stash:parallel ' --include='*.go' --exclude='*_test.go' internal cmd | grep -v testdata >&2; \
+		exit 1; \
+	fi
+
 test:
 	$(GO) test ./...
 
 race:
 	$(GO) test -race ./...
+
+# race-psim runs the parallel-engine packages under the race detector on
+# their own so a full-suite race run is never the only thing standing
+# between a barrier bug and main.
+race-psim:
+	$(GO) test -race -count=1 ./internal/psim ./internal/system
 
 # bench records the engine scheduler benchmarks into BENCH_engine.json
 # (the repo's perf trajectory), then runs the figure/table suite.
@@ -68,7 +89,18 @@ bench-protocol:
 	@$(GO) test -run '^$$' -bench BenchmarkProtocol -benchmem ./internal/coherence | $(GO) run ./cmd/benchjson -o BENCH_protocol.json -max-allocs 0 || \
 		{ echo "bench-protocol: allocation contract broken; run 'make lint' — the hotpath analyzer pinpoints allocation sites in //stash:hotpath functions" >&2; exit 1; }
 
+# bench-psim records the serial-vs-parallel engine sweep (16-core model,
+# shards 0/2/4/8) into BENCH_psim.json. The events/sec ratio between the
+# shards=N and serial entries is the parallel speedup; it needs host
+# parallelism (GOMAXPROCS > 1) to exceed 1, and the benchmark names embed
+# the host core count so recorded sweeps compare like with like.
+bench-psim:
+	$(GO) test -run '^$$' -bench BenchmarkPsim -benchmem ./internal/system | $(GO) run ./cmd/benchjson -o BENCH_psim.json
+
 # bench-smoke executes every engine benchmark exactly once so ci catches
 # benchmark bit-rot without paying full measurement time.
 bench-smoke:
 	$(GO) test -run '^$$' -bench BenchmarkEngine -benchtime=1x -benchmem ./internal/sim
+
+bench-psim-smoke:
+	$(GO) test -run '^$$' -bench BenchmarkPsim -benchtime=1x -benchmem ./internal/system

@@ -36,6 +36,7 @@ func main() {
 		quick    = flag.Bool("quick", false, "use the scaled-down quick machine")
 		silent   = flag.Bool("silent-evictions", false, "drop clean L1 victims without notifying the directory")
 		noCheck  = flag.Bool("no-checker", false, "disable the data-value oracle and audits")
+		shards   = flag.Int("shards", 0, "parallel-engine worker count (0 = serial engine); implies -no-checker")
 		sample   = flag.Uint64("sample-period", 20_000, "directory occupancy sampling period in cycles (0 = off)")
 		traceDir = flag.String("trace-dir", "", "replay core<NN>.trace files from this directory instead of a synthetic workload")
 		jsonOut  = flag.Bool("json", false, "emit the full results as JSON instead of the text summary")
@@ -67,6 +68,12 @@ func main() {
 	cfg.Seed = *seed
 	cfg.SilentCleanEvictions = *silent
 	cfg.Checker = !*noCheck
+	cfg.Shards = *shards
+	if *shards > 0 {
+		// The oracle needs a global store order parallel tiles do not
+		// share; Validate would reject the combination.
+		cfg.Checker = false
+	}
 	cfg.SamplePeriod = *sample
 	if *accesses > 0 {
 		cfg.AccessesPerCore = *accesses

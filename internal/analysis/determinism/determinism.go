@@ -8,6 +8,7 @@ package determinism
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 	"strings"
 
@@ -19,6 +20,7 @@ import (
 // internal/stashd, internal/experiments) is service layer and exempt.
 var simPackages = []string{
 	"internal/sim",
+	"internal/psim",
 	"internal/coherence",
 	"internal/core",
 	"internal/noc",
@@ -26,6 +28,13 @@ var simPackages = []string{
 	"internal/cache",
 	"internal/mem",
 	"internal/system",
+}
+
+// parallelPackages are the suffixes where a //stash:parallel sanction is
+// honored: the conservative parallel engine, whose workers are spawned and
+// joined inside one Run call and synchronize only through its barrier.
+var parallelPackages = []string{
+	"internal/psim",
 }
 
 // bannedTime lists the time package's wall-clock and timer entry points.
@@ -56,7 +65,17 @@ var Analyzer = &analysis.Analyzer{
 // suffix. Suffix matching (rather than exact paths) lets fixture modules and
 // forks exercise the same rules.
 func AppliesTo(pkgPath string) bool {
-	for _, s := range simPackages {
+	return matchesSuffix(pkgPath, simPackages)
+}
+
+// allowsParallel reports whether //stash:parallel sanctions are honored in
+// the package.
+func allowsParallel(pkgPath string) bool {
+	return matchesSuffix(pkgPath, parallelPackages)
+}
+
+func matchesSuffix(pkgPath string, suffixes []string) bool {
+	for _, s := range suffixes {
 		if pkgPath == s || strings.HasSuffix(pkgPath, "/"+s) {
 			return true
 		}
@@ -64,12 +83,55 @@ func AppliesTo(pkgPath string) bool {
 	return false
 }
 
+// sanction is one //stash:parallel comment found in a file.
+type sanction struct {
+	pos    token.Pos
+	line   int
+	reason string
+	used   bool
+}
+
+// parallelSanctions collects a file's //stash:parallel comments by line.
+func parallelSanctions(pass *analysis.Pass, file *ast.File) (byLine map[int]*sanction, all []*sanction) {
+	byLine = make(map[int]*sanction)
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			d, ok := analysis.ParseDirective(c.Text)
+			if !ok || d.Verb != analysis.DirectiveParallel {
+				continue
+			}
+			s := &sanction{pos: c.Pos(), line: pass.Fset.Position(c.Pos()).Line, reason: d.Args}
+			byLine[s.line] = s
+			all = append(all, s)
+		}
+	}
+	return byLine, all
+}
+
 func run(pass *analysis.Pass) error {
+	parallelOK := allowsParallel(pass.Pkg.Path())
 	for _, file := range pass.Files {
+		byLine, all := parallelSanctions(pass, file)
 		ast.Inspect(file, func(n ast.Node) bool {
 			switch n := n.(type) {
 			case *ast.GoStmt:
-				pass.Reportf(n.Pos(), "goroutine spawn in simulation package: the engine is single-threaded; schedule an event instead")
+				line := pass.Fset.Position(n.Pos()).Line
+				s := byLine[line]
+				if s == nil {
+					s = byLine[line-1]
+				}
+				switch {
+				case s == nil:
+					pass.Reportf(n.Pos(), "goroutine spawn in simulation package: the engine is single-threaded; schedule an event instead")
+				case s.reason == "":
+					s.used = true
+					pass.Reportf(s.pos, "//stash:parallel needs a reason: //stash:parallel <why this spawn is safe and joined>")
+				case !parallelOK:
+					s.used = true
+					pass.Reportf(n.Pos(), "//stash:parallel is only honored inside internal/psim; this package's engine is single-threaded — schedule an event instead")
+				default:
+					s.used = true
+				}
 			case *ast.RangeStmt:
 				if tv, ok := pass.TypesInfo.Types[n.X]; ok {
 					if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
@@ -81,6 +143,11 @@ func run(pass *analysis.Pass) error {
 			}
 			return true
 		})
+		for _, s := range all {
+			if !s.used {
+				pass.Reportf(s.pos, "unused //stash:parallel: no go statement on this line or the next; delete the sanction")
+			}
+		}
 	}
 	return nil
 }

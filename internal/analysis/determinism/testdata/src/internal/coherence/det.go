@@ -30,6 +30,13 @@ func spawn(ch chan int) {
 	go func() { ch <- 1 }() // want `goroutine spawn in simulation package`
 }
 
+// sanctionOutsidePsim shows that a reasoned //stash:parallel does not buy a
+// spawn anywhere but internal/psim.
+func sanctionOutsidePsim(ch chan int) {
+	//stash:parallel looks reasonable but this is not the parallel engine
+	go func() { ch <- 1 }() // want `//stash:parallel is only honored inside internal/psim`
+}
+
 func mapOrder(m map[int]int) (sum int, keys []int) {
 	for _, v := range m { // want `map iteration order is nondeterministic`
 		sum += v

@@ -1,0 +1,25 @@
+// Package psim is a determinism fixture for the //stash:parallel sanction:
+// its import path ends in internal/psim, the one simulation package whose
+// goroutine spawns may be sanctioned. Sanction hygiene (missing reason,
+// sanction attached to nothing) is covered by TestParallelSanctionHygiene,
+// because those diagnostics land on the directive's own line, which cannot
+// also carry a want comment.
+package psim
+
+type worker struct{}
+
+func (w *worker) loop() {}
+
+// sanctioned is the accepted pattern: a reasoned sanction on the line above
+// the spawn (or on the spawn's own line).
+func sanctioned(workers []worker) {
+	for i := range workers {
+		//stash:parallel epoch workers; joined before Run returns
+		go workers[i].loop()
+	}
+	go workers[0].loop() //stash:parallel re-spawn after resize; joined by the same barrier
+}
+
+func unsanctioned(w *worker) {
+	go w.loop() // want `goroutine spawn in simulation package`
+}

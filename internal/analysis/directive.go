@@ -53,6 +53,14 @@ const (
 	// doc comment covers its whole body; on a statement's line it covers
 	// that operation.
 	DirectiveBlocking = "blocking"
+	// DirectiveParallel sanctions a goroutine spawn inside the parallel
+	// engine: "//stash:parallel <reason>" on the go statement's line or the
+	// line above it. The determinism analyzer honors it only in
+	// internal/psim — the one simulation package whose whole point is
+	// deterministic parallelism; everywhere else in the simulation core a
+	// spawn stays a finding, sanctioned or not. The reason is mandatory and
+	// an unattached sanction is itself reported, mirroring ignore hygiene.
+	DirectiveParallel = "parallel"
 )
 
 const directivePrefix = "//stash:"

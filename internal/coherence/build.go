@@ -50,31 +50,7 @@ func NewFabric(cfg BuildConfig) (*Fabric, error) {
 	f.L1s = make([]*L1, cfg.Params.Cores)
 	f.Banks = make([]*Bank, cfg.Params.Cores)
 	for i := 0; i < cfg.Params.Cores; i++ {
-		// Each tile's copy of a cache config gets its own random-policy
-		// seed, offset from the configured base, so cores don't march
-		// through identical victim sequences in lockstep.
-		l1Cfg := cfg.L1
-		l1Cfg.Name = fmt.Sprintf("%s.%d", cfg.L1.Name, i)
-		l1Cfg.Seed = cfg.L1.Seed + int64(i)*7919
-		var l2Cfg *cache.Config
-		if cfg.L2 != nil {
-			c2 := *cfg.L2
-			c2.Name = fmt.Sprintf("%s.%d", cfg.L2.Name, i)
-			c2.Seed = cfg.L2.Seed + int64(i)*7919
-			l2Cfg = &c2
-		}
-		l1, err := NewL1(i, f, l1Cfg, l2Cfg)
-		if err != nil {
-			return nil, err
-		}
-		dir, err := cfg.NewDirectory(i)
-		if err != nil {
-			return nil, err
-		}
-		llcCfg := cfg.LLC
-		llcCfg.Name = fmt.Sprintf("%s.%d", cfg.LLC.Name, i)
-		llcCfg.Seed = cfg.LLC.Seed + int64(i)*7919
-		bank, err := NewBank(i, f, dir, llcCfg)
+		l1, bank, err := buildTile(f, i, &cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -83,6 +59,42 @@ func NewFabric(cfg BuildConfig) (*Fabric, error) {
 		mesh.Attach(noc.NodeID(i), &tile{l1: l1, bank: bank})
 	}
 	return f, nil
+}
+
+// buildTile constructs tile i's controllers wired to fabric f — the whole
+// fabric in serial mode, tile i's view in parallel mode (the controllers
+// only ever touch their own fabric pointer at runtime, which is what makes
+// the per-tile views sufficient).
+func buildTile(f *Fabric, i int, cfg *BuildConfig) (*L1, *Bank, error) {
+	// Each tile's copy of a cache config gets its own random-policy
+	// seed, offset from the configured base, so cores don't march
+	// through identical victim sequences in lockstep.
+	l1Cfg := cfg.L1
+	l1Cfg.Name = fmt.Sprintf("%s.%d", cfg.L1.Name, i)
+	l1Cfg.Seed = cfg.L1.Seed + int64(i)*7919
+	var l2Cfg *cache.Config
+	if cfg.L2 != nil {
+		c2 := *cfg.L2
+		c2.Name = fmt.Sprintf("%s.%d", cfg.L2.Name, i)
+		c2.Seed = cfg.L2.Seed + int64(i)*7919
+		l2Cfg = &c2
+	}
+	l1, err := NewL1(i, f, l1Cfg, l2Cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	dir, err := cfg.NewDirectory(i)
+	if err != nil {
+		return nil, nil, err
+	}
+	llcCfg := cfg.LLC
+	llcCfg.Name = fmt.Sprintf("%s.%d", cfg.LLC.Name, i)
+	llcCfg.Seed = cfg.LLC.Seed + int64(i)*7919
+	bank, err := NewBank(i, f, dir, llcCfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return l1, bank, nil
 }
 
 // AttachProcessors binds one access source per core and returns the

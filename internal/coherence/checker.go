@@ -21,6 +21,7 @@ type Checker struct {
 	enabled    bool
 	oracle     map[mem.Block]uint64
 	nextVal    uint64
+	stride     uint64 // stamp increment; 0 means the serial default of 1
 	violations []string
 	maxRecord  int
 
@@ -37,6 +38,23 @@ func NewChecker() *Checker {
 		oracle:    make(map[mem.Block]uint64),
 		maxRecord: 32,
 	}
+}
+
+// NewStridedChecker returns a disabled checker whose store stamps walk the
+// arithmetic progression tile + k·stride. The parallel engine gives each
+// tile's fabric view one: stamps stay globally unique (distinct residues
+// mod stride) and each stamp depends only on (tile, per-tile commit
+// count), so the data values flowing through the protocol are identical at
+// every shard count. Load verification needs a globally ordered oracle,
+// which is exactly what parallel tiles do not share — hence Shards > 0
+// requires the checker disabled, and this constructor does not offer
+// enabling.
+func NewStridedChecker(tile, stride int) *Checker {
+	c := NewChecker()
+	c.enabled = false
+	c.nextVal = uint64(tile)
+	c.stride = uint64(stride)
+	return c
 }
 
 // SetEnabled toggles checking; a disabled checker still issues store
@@ -62,7 +80,11 @@ func (c *Checker) holdersScratch() map[mem.Block]map[int]mem.State {
 // the store commits (the core holds M permission), which under SWMR is the
 // block's coherence order.
 func (c *Checker) CommitStore(b mem.Block) uint64 {
-	c.nextVal++
+	step := c.stride
+	if step == 0 {
+		step = 1
+	}
+	c.nextVal += step
 	c.oracle[b] = c.nextVal
 	return c.nextVal
 }

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/mem"
 	"repro/internal/noc"
+	"repro/internal/psim"
 	"repro/internal/sim"
 )
 
@@ -94,6 +95,13 @@ type Fabric struct {
 	// keep per-instance TBE free lists, so the steady-state protocol path
 	// touches the heap only while these pools warm up.
 	pool msgPool
+
+	// Parallel-mode fields, set only on the per-tile fabric views built by
+	// NewParallelFabric (nil on a serial fabric). pout buffers this tile's
+	// cross-tile sends for the epoch merge; local delivers self-addressed
+	// messages on the tile's own queue. See parallel.go.
+	pout  *psim.Mailbox[parcel]
+	local *tileLocal
 }
 
 // newMsg acquires a zeroed message from the fabric's pool.
@@ -153,13 +161,20 @@ func (f *Fabric) HomeBank(b mem.Block) int {
 }
 
 // send transports m across the mesh on a pooled envelope. The mesh (and
-// eventually the receiving tile) owns m from here on.
+// eventually the receiving tile) owns m from here on. On a parallel tile
+// view the transport is deferred instead: self-addressed messages are
+// scheduled on the tile's own queue and cross-tile ones parked in the
+// tile's mailbox for the epoch merge (see parallel.go).
 //
 //stash:transfer
 //stash:hotpath
 func (f *Fabric) send(src, dst noc.NodeID, m *Msg) {
 	if f.OnMessage != nil {
 		f.OnMessage(src, dst, m)
+	}
+	if f.pout != nil {
+		f.psend(src, dst, m)
+		return
 	}
 	f.Mesh.Post(src, dst, m.class(), m.flits(), m)
 }

@@ -43,3 +43,15 @@ func (m *Memory) Write(b mem.Block, v uint64) {
 
 // Stats returns the memory metric set.
 func (m *Memory) Stats() *stats.Set { return m.set }
+
+// FoldStats accumulates o's access counters into m. The parallel engine
+// gives each tile its own Memory (blocks partition perfectly by home
+// bank, so the value stores are disjoint) and folds the counters into the
+// root fabric's Memory, in tile order, at end of run; counter addition
+// commutes, so the totals are shard-layout-invariant. The value maps are
+// not merged — nothing reads them after a parallel run (the audit is
+// checker-gated and the checker is off).
+func (m *Memory) FoldStats(o *Memory) {
+	m.reads.Add(o.reads.Value())
+	m.writes.Add(o.writes.Value())
+}

@@ -242,25 +242,21 @@ func abs(v int) int {
 	return v
 }
 
-// Send routes msg from msg.Src to msg.Dst and schedules its delivery. It
-// returns the arrival cycle. Messages to self are delivered after the
-// router latency only (local turnaround), with no link traffic. The mesh
-// owns msg until the destination endpoint's Deliver runs.
+// route reserves the XY path's links for a message of the given class and
+// size injected at cycle now, records flit-hop and latency statistics, and
+// returns the arrival cycle. It is the timing core shared by Send (serial,
+// at send time) and ReserveRoute (parallel, replayed at the epoch merge):
+// both produce identical link reservations and arrival cycles for the same
+// (src, dst, flits, now) inputs, which is what makes the parallel engine's
+// deferred replay timing-equivalent to the serial engine's inline send.
 //
-//stash:transfer
 //stash:hotpath
-func (m *Mesh) Send(msg *Message) sim.Cycle {
-	if msg.Flits < 1 {
-		panic("noc: message with no flits")
-	}
-	m.msgs[msg.Class].Inc()
-
-	now := m.engine.Now()
+func (m *Mesh) route(src, dst NodeID, class Class, flits int, now sim.Cycle) sim.Cycle {
 	t := now + m.cfg.RouterLatency // injection through the local router
-	if msg.Src != msg.Dst {
-		serialize := sim.Cycle((msg.Flits + m.cfg.LinkBandwidth - 1) / m.cfg.LinkBandwidth)
-		x, y := m.Coord(msg.Src)
-		dx, dy := m.Coord(msg.Dst)
+	if src != dst {
+		serialize := sim.Cycle((flits + m.cfg.LinkBandwidth - 1) / m.cfg.LinkBandwidth)
+		x, y := m.Coord(src)
+		dx, dy := m.Coord(dst)
 		hops := 0
 		// XY routing: walk X first, then Y, reserving each link.
 		for x != dx || y != dy {
@@ -286,15 +282,86 @@ func (m *Mesh) Send(msg *Message) sim.Cycle {
 			x, y = nx, ny
 			hops++
 		}
-		m.flitHops[msg.Class].Add(int64(msg.Flits * hops))
+		m.flitHops[class].Add(int64(flits * hops))
 	}
+	m.latency.Observe(int64(t - now))
+	return t
+}
 
+// Send routes msg from msg.Src to msg.Dst and schedules its delivery. It
+// returns the arrival cycle. Messages to self are delivered after the
+// router latency only (local turnaround), with no link traffic. The mesh
+// owns msg until the destination endpoint's Deliver runs.
+//
+//stash:transfer
+//stash:hotpath
+func (m *Mesh) Send(msg *Message) sim.Cycle {
+	if msg.Flits < 1 {
+		panic("noc: message with no flits")
+	}
+	m.msgs[msg.Class].Inc()
 	if m.endpoints[msg.Dst] == nil {
 		panic(fmt.Sprintf("noc: no endpoint attached to node %d", msg.Dst))
 	}
-	m.latency.Observe(int64(t - now))
+	t := m.route(msg.Src, msg.Dst, msg.Class, msg.Flits, m.engine.Now())
 	m.engine.AtArg(t, "noc.deliver", m.deliverFn, msg)
 	return t
+}
+
+// ReserveRoute accounts and reserves the route of a cross-tile message
+// sent at cycle sent, returning its arrival cycle — without scheduling a
+// delivery (the parallel driver schedules it on the destination tile's own
+// queue). The epoch merge replays every cross-tile send of an epoch
+// through here in the canonical (cycle, source tile, send order) order, so
+// link contention resolves exactly as if the sends had been routed inline
+// in that order.
+//
+//stash:hotpath
+func (m *Mesh) ReserveRoute(src, dst NodeID, class Class, flits int, sent sim.Cycle) sim.Cycle {
+	if flits < 1 {
+		panic("noc: message with no flits")
+	}
+	m.msgs[class].Inc()
+	return m.route(src, dst, class, flits, sent)
+}
+
+// MinHopLatency returns the smallest possible latency of a cross-tile
+// message: one hop with an idle link — source router, link traversal,
+// destination router. It is the parallel engine's lookahead bound L: a
+// message emitted in epoch [k·L, (k+1)·L) can never be due before epoch
+// k+1, so deferring its delivery to the epoch barrier never misses its
+// cycle.
+func (c Config) MinHopLatency() sim.Cycle {
+	return 2*c.RouterLatency + c.LinkLatency
+}
+
+// MinHopLatency returns the mesh's lookahead bound (see Config.MinHopLatency).
+func (m *Mesh) MinHopLatency() sim.Cycle { return m.cfg.MinHopLatency() }
+
+// LocalTraffic accumulates one tile's self-addressed traffic (messages a
+// tile sends to itself never touch links and, in the parallel engine, are
+// delivered tile-locally without crossing the epoch merge). FoldLocal
+// folds it into the mesh statistics at end of run; every self delivery has
+// the same latency (the router turnaround), so a count is a sufficient
+// statistic for the latency histogram.
+type LocalTraffic struct {
+	Msgs      [NumClasses]int64
+	Delivered int64
+}
+
+// FoldLocal merges a tile's local-traffic accumulator into the mesh
+// statistics. The parallel driver calls it once per tile, in tile order,
+// after the run completes; counter sums and same-valued histogram batches
+// commute, so the folded totals equal what inline accounting would have
+// produced regardless of shard layout.
+func (m *Mesh) FoldLocal(l *LocalTraffic) {
+	var self int64
+	for c := Class(0); c < NumClasses; c++ {
+		m.msgs[c].Add(l.Msgs[c])
+		self += l.Msgs[c]
+	}
+	m.latency.ObserveN(int64(m.cfg.RouterLatency), self)
+	m.delivered.Add(l.Delivered)
 }
 
 // Post sends a pooled message: the transfer envelope is recycled after

@@ -1,0 +1,284 @@
+package psim_test
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/psim"
+	"repro/internal/sim"
+	"repro/internal/testutil/leakcheck"
+)
+
+// The tests drive a toy multi-LP model through psim and through an
+// independently-coded serial executor of the same epoch discipline, and
+// demand bit-identical traces. The model is adversarial on purpose: LPs
+// schedule bursts of same-cycle events, exchange cross-LP messages at
+// exactly the lookahead bound, and fold every event into an order-
+// sensitive hash, so any deviation in the total order — a worker stepping
+// the wrong LP first, a merge replayed out of order — changes the hash.
+
+const lookahead = 7
+
+// toyLP is one logical process: a seeded self-scheduling event source
+// whose state hashes every event it executes in order.
+type toyLP struct {
+	rank  int
+	eng   *sim.Engine
+	out   *psim.Mailbox[toyMsg]
+	hash  uint64
+	count int
+	limit int
+	rng   uint64
+	fn    func(any) // bound once; arg is the delivered value
+}
+
+type toyMsg struct {
+	dst int
+	val uint64
+}
+
+func mix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+func (lp *toyLP) next() uint64 {
+	lp.rng = mix(lp.rng)
+	return lp.rng
+}
+
+// tick is the LP's only event body: record the event in the hash, then
+// maybe self-schedule (possibly at the same cycle) and maybe emit a
+// cross-LP message.
+func (lp *toyLP) tick(arg any) {
+	v := arg.(uint64)
+	now := uint64(lp.eng.Now())
+	lp.hash = mix(lp.hash ^ now ^ v ^ uint64(lp.rank))
+	lp.count++
+	if lp.count >= lp.limit {
+		return
+	}
+	r := lp.next()
+	// Same-cycle and near-future self events stress intra-LP ordering.
+	delay := sim.Cycle(r % 3)
+	lp.eng.AtArg(lp.eng.Now()+delay, "toy.tick", lp.fn, lp.next())
+	if r%4 == 0 {
+		lp.out.Push(now, toyMsg{dst: int(r>>8) % cap(lpDsts), val: lp.next()})
+	}
+}
+
+// lpDsts only exists to give the message destination a stable modulus.
+var lpDsts = make([]struct{}, 8)
+
+// buildToy constructs n LPs with seeded initial events; each LP stops
+// self-scheduling after limit ticks.
+func buildToy(n int, seed uint64, limit int) ([]*toyLP, []*sim.Engine, []*psim.Mailbox[toyMsg]) {
+	lps := make([]*toyLP, n)
+	engines := make([]*sim.Engine, n)
+	boxes := make([]*psim.Mailbox[toyMsg], n)
+	for i := range lps {
+		lp := &toyLP{rank: i, eng: sim.NewEngine(), out: &psim.Mailbox[toyMsg]{}, limit: limit, rng: mix(seed + uint64(i)*977)}
+		lp.fn = lp.tick
+		lps[i] = lp
+		engines[i] = lp.eng
+		boxes[i] = lp.out
+		for k := 0; k < 3; k++ {
+			lp.eng.AtArg(sim.Cycle(lp.next()%20), "toy.seed", lp.fn, lp.next())
+		}
+	}
+	return lps, engines, boxes
+}
+
+// merge replays one epoch's cross-LP messages: delivery at the first cycle
+// of the next epoch plus a deterministic jitter derived from the payload.
+func mergeToy(lps []*toyLP, boxes []*psim.Mailbox[toyMsg], mergeHash *uint64) func(end sim.Cycle) {
+	return func(end sim.Cycle) {
+		psim.Drain(boxes, func(src int, at uint64, m toyMsg) {
+			*mergeHash = mix(*mergeHash ^ at ^ m.val ^ uint64(src))
+			dst := lps[m.dst%len(lps)]
+			dst.eng.AtArg(end+sim.Cycle(m.val%5), "toy.deliver", dst.fn, m.val)
+		})
+	}
+}
+
+// runParallel executes the toy model under psim with the given shard count
+// and returns the per-LP hashes plus the merge-order hash.
+func runParallel(t *testing.T, n, shards int, seed uint64) ([]uint64, uint64, uint64) {
+	t.Helper()
+	lps, engines, boxes := buildToy(n, seed, 400)
+	eng, err := psim.New(psim.Config{Shards: shards, Lookahead: lookahead}, engines)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mergeHash uint64
+	total, err := eng.Run(mergeToy(lps, boxes, &mergeHash))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hashes := make([]uint64, n)
+	for i, lp := range lps {
+		hashes[i] = lp.hash
+	}
+	return hashes, mergeHash, total
+}
+
+// runReference executes the same model and epoch discipline with a direct
+// single-threaded loop — no workers, no barrier — as the oracle for the
+// concurrency machinery.
+func runReference(t *testing.T, n int, seed uint64) ([]uint64, uint64, uint64) {
+	t.Helper()
+	lps, engines, boxes := buildToy(n, seed, 400)
+	var mergeHash uint64
+	merge := mergeToy(lps, boxes, &mergeHash)
+	var total uint64
+	for {
+		minT, any := sim.Cycle(0), false
+		for _, e := range engines {
+			if tc, ok := e.NextEventTime(); ok && (!any || tc < minT) {
+				minT, any = tc, true
+			}
+		}
+		if !any {
+			break
+		}
+		start := minT - minT%lookahead
+		end := start + lookahead
+		for {
+			best := -1
+			var bt sim.Cycle
+			for i, e := range engines {
+				if tc, ok := e.NextEventTime(); ok && tc < end && (best < 0 || tc < bt) {
+					best, bt = i, tc
+				}
+			}
+			if best < 0 {
+				break
+			}
+			engines[best].Step()
+			total++
+		}
+		merge(end)
+	}
+	hashes := make([]uint64, n)
+	for i, lp := range lps {
+		hashes[i] = lp.hash
+	}
+	return hashes, mergeHash, total
+}
+
+// TestShardCountInvariance is the core determinism property: every shard
+// count produces the trace the independent serial reference produces.
+func TestShardCountInvariance(t *testing.T) {
+	leakcheck.Check(t)
+	for _, n := range []int{1, 3, 8} {
+		for seed := uint64(1); seed <= 5; seed++ {
+			wantH, wantM, wantN := runReference(t, n, seed)
+			for _, shards := range []int{1, 2, 4, 8} {
+				if shards > n {
+					continue
+				}
+				name := fmt.Sprintf("n%d_seed%d_shards%d", n, seed, shards)
+				gotH, gotM, gotN := runParallel(t, n, shards, seed)
+				if gotN != wantN {
+					t.Fatalf("%s: ran %d events, reference ran %d", name, gotN, wantN)
+				}
+				if gotM != wantM {
+					t.Fatalf("%s: merge-order hash %#x, reference %#x", name, gotM, wantM)
+				}
+				for i := range gotH {
+					if gotH[i] != wantH[i] {
+						t.Fatalf("%s: LP %d hash %#x, reference %#x", name, i, gotH[i], wantH[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestRunTwiceIdentical reruns one configuration and demands identical
+// hashes — determinism without reference to the oracle.
+func TestRunTwiceIdentical(t *testing.T) {
+	leakcheck.Check(t)
+	aH, aM, aN := runParallel(t, 8, 4, 42)
+	bH, bM, bN := runParallel(t, 8, 4, 42)
+	if aN != bN || aM != bM {
+		t.Fatalf("two runs diverged: events %d vs %d, merge hash %#x vs %#x", aN, bN, aM, bM)
+	}
+	for i := range aH {
+		if aH[i] != bH[i] {
+			t.Fatalf("LP %d diverged across runs", i)
+		}
+	}
+}
+
+// TestEventLimit exercises the budget path: Run must stop with
+// ErrEventLimit and still join its workers (leakcheck enforces that).
+func TestEventLimit(t *testing.T) {
+	leakcheck.Check(t)
+	_, engines, boxes := buildToy(8, 7, 400)
+	eng, err := psim.New(psim.Config{Shards: 4, Lookahead: lookahead, MaxEvents: 50}, engines)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = eng.Run(func(end sim.Cycle) {
+		psim.Drain(boxes, func(int, uint64, toyMsg) {})
+	})
+	if !errors.Is(err, psim.ErrEventLimit) {
+		t.Fatalf("want ErrEventLimit, got %v", err)
+	}
+}
+
+// TestConfigValidation covers New's rejection paths.
+func TestConfigValidation(t *testing.T) {
+	leakcheck.Check(t)
+	_, engines, _ := buildToy(4, 1, 400)
+	if _, err := psim.New(psim.Config{Shards: 5, Lookahead: 1}, engines); err == nil {
+		t.Fatal("accepted more shards than LPs")
+	}
+	if _, err := psim.New(psim.Config{Shards: 0, Lookahead: 1}, engines); err == nil {
+		t.Fatal("accepted zero shards")
+	}
+	if _, err := psim.New(psim.Config{Shards: 2, Lookahead: 0}, engines); err == nil {
+		t.Fatal("accepted zero lookahead")
+	}
+	if _, err := psim.New(psim.Config{Shards: 1, Lookahead: 1}, nil); err == nil {
+		t.Fatal("accepted empty LP set")
+	}
+}
+
+// TestMailboxOrder pins Drain's canonical order directly: cycle first,
+// then source rank, then push order.
+func TestMailboxOrder(t *testing.T) {
+	leakcheck.Check(t)
+	a, b := &psim.Mailbox[int]{}, &psim.Mailbox[int]{}
+	a.Push(5, 1)
+	a.Push(5, 2)
+	a.Push(9, 3)
+	b.Push(4, 10)
+	b.Push(5, 11)
+	b.Push(9, 12)
+	type rec struct {
+		src int
+		at  uint64
+		v   int
+	}
+	var got []rec
+	psim.Drain([]*psim.Mailbox[int]{a, b}, func(src int, at uint64, v int) {
+		got = append(got, rec{src, at, v})
+	})
+	want := []rec{{1, 4, 10}, {0, 5, 1}, {0, 5, 2}, {1, 5, 11}, {0, 9, 3}, {1, 9, 12}}
+	if len(got) != len(want) {
+		t.Fatalf("drained %d entries, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("entry %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	if a.Len() != 0 || b.Len() != 0 {
+		t.Fatal("mailboxes not empty after drain")
+	}
+}

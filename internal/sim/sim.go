@@ -3,8 +3,11 @@
 // the engine executes them in (cycle, insertion-order) order, so two runs of
 // the same configuration produce bit-identical results.
 //
-// The engine is intentionally single-threaded: coherence-protocol debugging
-// and reproducible experiments both depend on a total, stable event order.
+// The serial engine is single-threaded: coherence-protocol debugging and
+// reproducible experiments both depend on a total, stable event order. The
+// scheduling core (EventQueue, in queue.go) is factored out of Engine so
+// that internal/psim can run one queue per tile under a conservative epoch
+// protocol; Engine embeds a queue and remains the serial façade.
 //
 // The scheduler is hand-specialized for the protocol's traffic shape and is
 // allocation-free on the steady-state path:
@@ -33,126 +36,22 @@
 // order for every seed.
 package sim
 
-import (
-	"fmt"
-	"math/bits"
-)
-
 // Cycle is a point in simulated time, measured in core clock cycles.
 type Cycle uint64
 
 // Event is a callback scheduled to run at a particular cycle.
 type Event func()
 
-// eventSlot is an event's payload, stored out-of-line from the heap keys
-// (and inline in the rings, which are never sifted). An event is either a
-// plain closure (run) or an arg-passing pair (argFn, arg) scheduled through
-// AtArg/AfterArg; the latter lets callers reuse one long-lived func value
-// and avoid allocating a fresh closure per event.
-type eventSlot struct {
-	run   Event
-	argFn func(any)
-	arg   any
-	name  string // optional, for tracing
-}
-
-// fire executes whichever form of callback the slot carries.
-//
-//stash:hotpath
-func (s *eventSlot) fire() {
-	if s.argFn != nil {
-		s.argFn(s.arg)
-		return
-	}
-	s.run()
-}
-
-// heapEntry is one 4-ary-heap key: the ordering fields plus the index of
-// the payload in the arena.
-type heapEntry struct {
-	at   Cycle
-	tie  uint64 // FIFO seq, or a keyed hash when shuffle-fuzzing
-	slot int32
-}
-
-func (a heapEntry) less(b heapEntry) bool {
-	return a.at < b.at || (a.at == b.at && a.tie < b.tie)
-}
-
-// ring is a growable power-of-two circular FIFO of events all due at one
-// cycle. Storage is reused across cycles, so steady-state pushes do not
-// allocate.
-type ring struct {
-	buf  []eventSlot
-	head int
-	n    int
-}
-
-//stash:hotpath
-func (r *ring) push(s eventSlot) {
-	if r.n == len(r.buf) {
-		r.grow()
-	}
-	r.buf[(r.head+r.n)&(len(r.buf)-1)] = s
-	r.n++
-}
-
-//stash:hotpath
-func (r *ring) pop() eventSlot {
-	// The popped slot is left stale rather than cleared: clearing a
-	// pointer-bearing struct costs a write barrier per event, and the slot
-	// is overwritten on reuse anyway, so at most one buffer's worth of dead
-	// callbacks is retained.
-	s := r.buf[r.head]
-	r.head = (r.head + 1) & (len(r.buf) - 1)
-	r.n--
-	return s
-}
-
-func (r *ring) grow() {
-	newCap := 2 * len(r.buf)
-	if newCap == 0 {
-		newCap = 16
-	}
-	buf := make([]eventSlot, newCap)
-	for i := 0; i < r.n; i++ {
-		buf[i] = r.buf[(r.head+i)&(len(r.buf)-1)]
-	}
-	r.buf = buf
-	r.head = 0
-}
-
-// Timing-wheel geometry: one FIFO bucket per cycle for the next wheelSize
-// cycles. Must be a power of two, and large enough to cover the protocol's
-// fixed latencies (memory reads at 160 cycles are the longest) so that the
-// heap only sees the rare congestion-delayed NoC arrival.
-const (
-	wheelSize  = 256
-	wheelMask  = wheelSize - 1
-	wheelWords = wheelSize / 64
-)
-
-// Engine owns the event queue and the simulated clock.
+// Engine owns an event queue and the simulated clock, and adds the run
+// loop, tracing and event accounting on top of the embedded EventQueue
+// (which contributes Now, Pending, At/After and their Arg forms,
+// NextEventTime and SetShuffleSeed).
 type Engine struct {
-	now     Cycle
-	seq     uint64
-	ran     uint64
-	Trace   func(at Cycle, name string) // optional event trace hook
-	halted  bool
-	shuffle uint64
+	EventQueue
 
-	// 4-ary min-heap of far-future events; payloads live in arena, with
-	// recycled slots threaded through free.
-	heap  []heapEntry
-	arena []eventSlot
-	free  []int32
-
-	// Timing wheel of near-future events (FIFO ties only): bucket
-	// wheel[t & wheelMask] holds the events due at cycle t for
-	// t - now < wheelSize. wheelOcc is the per-bucket occupancy bitmap.
-	wheel      [wheelSize]ring
-	wheelOcc   [wheelWords]uint64
-	wheelCount int
+	ran    uint64
+	Trace  func(at Cycle, name string) // optional event trace hook
+	halted bool
 }
 
 // NewEngine returns an engine at cycle 0 with an empty queue.
@@ -160,231 +59,26 @@ func NewEngine() *Engine {
 	return &Engine{}
 }
 
-// SetShuffleSeed switches same-cycle tie-breaking from FIFO to a
-// deterministic pseudo-random permutation keyed by seed (0 restores FIFO).
-// Component models must not depend on the accidental ordering of unrelated
-// events within one cycle; the protocol fuzz tests sweep seeds through this
-// knob to prove it. It must be set before any events are scheduled.
-func (e *Engine) SetShuffleSeed(seed uint64) {
-	if e.Pending() != 0 {
-		panic("sim: SetShuffleSeed with events already queued")
-	}
-	e.shuffle = seed
-}
-
-// mix64 is the splitmix64 finalizer, used to derive shuffle tie-break keys.
-func mix64(x uint64) uint64 {
-	x += 0x9e3779b97f4a7c15
-	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
-	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
-	return x ^ (x >> 31)
-}
-
-// Now returns the current simulated cycle.
-func (e *Engine) Now() Cycle { return e.now }
-
 // EventsRun returns the number of events executed so far.
 func (e *Engine) EventsRun() uint64 { return e.ran }
-
-// Pending returns the number of scheduled, not-yet-run events.
-func (e *Engine) Pending() int { return len(e.heap) + e.wheelCount }
-
-// At schedules fn to run at the absolute cycle at, which must not be in the
-// past. Events at the same cycle run in scheduling order.
-//
-//stash:hotpath
-func (e *Engine) At(at Cycle, name string, fn Event) {
-	e.schedule(at, eventSlot{run: fn, name: name})
-}
-
-// AtArg schedules fn(arg) at the absolute cycle at. It shares At's sequence
-// counter and routing, so interleaved At/AtArg calls preserve scheduling
-// order exactly; the point of the arg form is that a long-lived fn plus a
-// pointer-shaped arg schedules without allocating a closure. Ownership of a
-// pooled arg moves to the event queue until fn runs.
-//
-//stash:transfer
-//stash:hotpath
-func (e *Engine) AtArg(at Cycle, name string, fn func(any), arg any) {
-	e.schedule(at, eventSlot{argFn: fn, arg: arg, name: name})
-}
-
-// After schedules fn to run delay cycles from now.
-//
-//stash:hotpath
-func (e *Engine) After(delay Cycle, name string, fn Event) {
-	e.schedule(e.now+delay, eventSlot{run: fn, name: name})
-}
-
-// AfterArg schedules fn(arg) delay cycles from now (see AtArg). Ownership
-// of a pooled arg moves to the event queue until fn runs.
-//
-//stash:transfer
-//stash:hotpath
-func (e *Engine) AfterArg(delay Cycle, name string, fn func(any), arg any) {
-	e.schedule(e.now+delay, eventSlot{argFn: fn, arg: arg, name: name})
-}
-
-//stash:hotpath
-func (e *Engine) schedule(at Cycle, s eventSlot) {
-	if at < e.now {
-		panic(fmt.Sprintf("sim: scheduling event %q at cycle %d, before now (%d)", s.name, at, e.now))
-	}
-	e.seq++
-	if e.shuffle != 0 {
-		// Shuffled ties permute whole cycles, so the FIFO wheel cannot be
-		// used; every event takes the heap path with a hashed tie key.
-		e.heapPush(at, mix64(e.seq^e.shuffle), s)
-		return
-	}
-	if at-e.now < wheelSize {
-		b := int(at) & wheelMask
-		e.wheel[b].push(s)
-		e.wheelOcc[b>>6] |= 1 << (b & 63)
-		e.wheelCount++
-		return
-	}
-	e.heapPush(at, e.seq, s)
-}
 
 // Halt stops Run after the current event completes, leaving any remaining
 // events queued. Used by watchdogs and by tests that inject failures.
 func (e *Engine) Halt() { e.halted = true }
 
-//stash:hotpath
-func (e *Engine) heapPush(at Cycle, tie uint64, s eventSlot) {
-	var idx int32
-	if n := len(e.free); n > 0 {
-		idx = e.free[n-1]
-		e.free = e.free[:n-1]
-		e.arena[idx] = s
-	} else {
-		idx = int32(len(e.arena))
-		e.arena = append(e.arena, s)
-	}
-	// Sift up.
-	i := len(e.heap)
-	e.heap = append(e.heap, heapEntry{})
-	ent := heapEntry{at: at, tie: tie, slot: idx}
-	for i > 0 {
-		p := (i - 1) >> 2
-		if !ent.less(e.heap[p]) {
-			break
-		}
-		e.heap[i] = e.heap[p]
-		i = p
-	}
-	e.heap[i] = ent
-}
-
-// heapPop removes the heap minimum and returns its payload, recycling the
-// arena slot.
+// Step pops the earliest pending event, advances the clock to it, and
+// fires it. Precondition: at least one event is pending (Pending() > 0).
+// It is the single-event granule the parallel engine's workers interleave
+// across the queues they own; Run is equivalent to Step in a loop.
 //
 //stash:hotpath
-func (e *Engine) heapPop() eventSlot {
-	top := e.heap[0]
-	n := len(e.heap) - 1
-	last := e.heap[n]
-	e.heap = e.heap[:n]
-	if n > 0 {
-		// Sift last down from the root.
-		i := 0
-		for {
-			c := i<<2 + 1
-			if c >= n {
-				break
-			}
-			m := c
-			end := c + 4
-			if end > n {
-				end = n
-			}
-			for j := c + 1; j < end; j++ {
-				if e.heap[j].less(e.heap[m]) {
-					m = j
-				}
-			}
-			if !e.heap[m].less(last) {
-				break
-			}
-			e.heap[i] = e.heap[m]
-			i = m
-		}
-		e.heap[i] = last
+func (e *Engine) Step() {
+	ev := e.popNext()
+	if e.Trace != nil {
+		e.Trace(e.now, ev.name)
 	}
-	s := e.arena[top.slot]
-	e.arena[top.slot] = eventSlot{} // release the closure for GC
-	e.free = append(e.free, top.slot)
-	return s
-}
-
-// nextWheel returns the cycle of the earliest wheel event; it must only be
-// called with wheelCount > 0. The circular bitmap scan starts at now's
-// bucket and costs at most wheelWords+1 trailing-zero counts.
-//
-//stash:hotpath
-func (e *Engine) nextWheel() Cycle {
-	start := int(e.now) & wheelMask
-	wi, b0 := start>>6, uint(start&63)
-	if w := e.wheelOcc[wi] >> b0; w != 0 {
-		return e.now + Cycle(bits.TrailingZeros64(w))
-	}
-	off := 64 - int(b0)
-	for k := 1; k < wheelWords; k++ {
-		if w := e.wheelOcc[(wi+k)&(wheelWords-1)]; w != 0 {
-			return e.now + Cycle(off+(k-1)*64+bits.TrailingZeros64(w))
-		}
-	}
-	w := e.wheelOcc[wi] & (1<<b0 - 1)
-	return e.now + Cycle(off+(wheelWords-1)*64+bits.TrailingZeros64(w))
-}
-
-// nextTime returns the cycle of the earliest pending event.
-//
-//stash:hotpath
-func (e *Engine) nextTime() (Cycle, bool) {
-	if e.wheelCount > 0 {
-		t := e.nextWheel()
-		if len(e.heap) > 0 && e.heap[0].at < t {
-			t = e.heap[0].at
-		}
-		return t, true
-	}
-	if len(e.heap) > 0 {
-		return e.heap[0].at, true
-	}
-	return 0, false
-}
-
-// popNext removes the globally earliest event and advances the clock to
-// it. Heap entries due at the current cycle drain before the wheel bucket:
-// they were necessarily scheduled before anything in the wheel (schedule
-// routes a request into the wheel only once its cycle is fewer than
-// wheelSize cycles out), so this is exactly (cycle, seq) order.
-// Precondition: at least one event is pending.
-//
-//stash:hotpath
-func (e *Engine) popNext() eventSlot {
-	for {
-		if len(e.heap) > 0 && e.heap[0].at == e.now {
-			return e.heapPop()
-		}
-		b := int(e.now) & wheelMask
-		if r := &e.wheel[b]; r.n > 0 {
-			s := r.pop()
-			e.wheelCount--
-			if r.n == 0 {
-				e.wheelOcc[b>>6] &^= 1 << (b & 63)
-			}
-			return s
-		}
-		// Nothing left at the current cycle: advance the clock.
-		t, _ := e.nextTime()
-		if t < e.now {
-			panic("sim: time went backwards")
-		}
-		e.now = t
-	}
+	ev.fire()
+	e.ran++
 }
 
 // Run executes events until the queue drains, limit events have run

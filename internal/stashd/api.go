@@ -35,6 +35,10 @@ type RunRequest struct {
 	SamplePeriod         uint64 `json:"samplePeriod,omitempty"`
 	// Checker defaults to on; send false to trade auditing for speed.
 	Checker *bool `json:"checker,omitempty"`
+	// Shards > 0 runs the parallel engine with that many workers and
+	// forces the checker off (parallel runs cannot host the globally
+	// ordered value oracle). 0 keeps the serial engine.
+	Shards int `json:"shards,omitempty"`
 }
 
 // Config resolves the request into a validated simulation config.
@@ -91,6 +95,10 @@ func (q *RunRequest) Config() (system.Config, error) {
 	}
 	if q.Checker != nil {
 		cfg.Checker = *q.Checker
+	}
+	if q.Shards > 0 {
+		cfg.Shards = q.Shards
+		cfg.Checker = false
 	}
 	return cfg, cfg.Validate()
 }

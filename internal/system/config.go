@@ -80,6 +80,17 @@ type Config struct {
 	// private-entry fraction every that-many cycles (Fig 1 / Table 3).
 	SamplePeriod uint64
 
+	// Shards, when nonzero, runs the machine on the parallel engine
+	// (internal/psim) with that many worker goroutines. 0 — the default —
+	// keeps the serial engine. Parallel runs are deterministic and
+	// bit-identical across shard counts, but follow the psim event order
+	// rather than the serial engine's, so their results are compared
+	// against psim fixtures, not serial ones. Requires Checker=false (the
+	// value oracle needs a global store order that parallel tiles do not
+	// share). The json tag keeps serial (Shards=0) Results fixtures
+	// byte-identical to those captured before this field existed.
+	Shards int `json:",omitempty"`
+
 	// Timing overrides; zero fields keep coherence.DefaultParams values.
 	MemLatency  uint64
 	BankLatency uint64
@@ -168,6 +179,12 @@ func (c *Config) Validate() error {
 	}
 	if (c.L2Sets == 0) != (c.L2Ways == 0) {
 		return fmt.Errorf("system: L2 sets and ways must be set together (got %dx%d)", c.L2Sets, c.L2Ways)
+	}
+	if c.Shards < 0 || c.Shards > c.Cores {
+		return fmt.Errorf("system: shards must be in [0,%d], got %d", c.Cores, c.Shards)
+	}
+	if c.Shards > 0 && c.Checker {
+		return fmt.Errorf("system: the checker needs a global store order; parallel runs (Shards=%d) require Checker=false", c.Shards)
 	}
 	return nil
 }

@@ -47,7 +47,7 @@ func runGolden(t *testing.T, cfg Config, shuffle uint64) *Results {
 	if err := fab.Drive(procs, 0); err != nil {
 		t.Fatal(err)
 	}
-	return collect(cfg, fab, procs, sampler)
+	return collect(cfg, fab, procs, sampler, fab.Engine.Now(), fab.Engine.EventsRun())
 }
 
 // TestGoldenResults pins the byte-exact simulation output for every

@@ -7,6 +7,7 @@ import (
 	"repro/internal/coherence"
 	"repro/internal/energy"
 	"repro/internal/noc"
+	"repro/internal/sim"
 )
 
 // Results aggregates the cross-component metrics one simulation produced.
@@ -109,9 +110,12 @@ func (r *Results) Clone() *Results {
 	return &c
 }
 
-// collect walks the fabric's statistics sets into a Results.
-func collect(cfg Config, fab *coherence.Fabric, procs []*coherence.Processor, sampler *occupancySampler) *Results {
-	r := &Results{Config: cfg, Cycles: uint64(fab.Engine.Now()), EventsRun: fab.Engine.EventsRun()}
+// collect walks the fabric's statistics sets into a Results. cycles and
+// events come from the caller because the serial path reads them off the
+// single engine while the parallel path aggregates per-tile engines (with
+// all per-tile statistics already folded into fab).
+func collect(cfg Config, fab *coherence.Fabric, procs []*coherence.Processor, sampler *occupancySampler, cycles sim.Cycle, events uint64) *Results {
+	r := &Results{Config: cfg, Cycles: uint64(cycles), EventsRun: events}
 
 	var missLatSum, missLatN int64
 	for _, l1 := range fab.L1s {

@@ -77,15 +77,11 @@ func buildDirectory(c *Config, bank int) (core.Directory, error) {
 	return nil, fmt.Errorf("system: unknown directory kind %q", c.DirKind)
 }
 
-// Build assembles the fabric and processors for cfg without running them.
-// Most callers want Run; Build exists for examples and tools that attach
-// observers before driving the machine themselves.
-func Build(cfg Config) (*coherence.Fabric, []*coherence.Processor, error) {
-	if err := cfg.Validate(); err != nil {
-		return nil, nil, err
-	}
+// buildConfig translates a validated Config into the coherence layer's
+// build description. The closure captures cfg by value, so the returned
+// BuildConfig is self-contained.
+func buildConfig(cfg Config) coherence.BuildConfig {
 	shape := meshShapes[cfg.Cores]
-
 	var l2 *cache.Config
 	if cfg.HasL2() {
 		l2 = &cache.Config{
@@ -93,7 +89,7 @@ func Build(cfg Config) (*coherence.Fabric, []*coherence.Processor, error) {
 			Seed: policySeed(cfg.Seed, seedSaltL2, 0),
 		}
 	}
-	fab, err := coherence.NewFabric(coherence.BuildConfig{
+	return coherence.BuildConfig{
 		Params: cfg.params(),
 		Mesh:   noc.DefaultConfig(shape[0], shape[1]),
 		L1: cache.Config{
@@ -109,7 +105,17 @@ func Build(cfg Config) (*coherence.Fabric, []*coherence.Processor, error) {
 		NewDirectory: func(bank int) (core.Directory, error) {
 			return buildDirectory(&cfg, bank)
 		},
-	})
+	}
+}
+
+// Build assembles the fabric and processors for cfg without running them.
+// Most callers want Run; Build exists for examples and tools that attach
+// observers before driving the machine themselves.
+func Build(cfg Config) (*coherence.Fabric, []*coherence.Processor, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, nil, err
+	}
+	fab, err := coherence.NewFabric(buildConfig(cfg))
 	if err != nil {
 		return nil, nil, err
 	}
@@ -161,8 +167,12 @@ func buildSources(cfg *Config) ([]coherence.AccessSource, error) {
 
 // Run builds the machine for cfg, drives it to completion and returns the
 // collected results. It fails on configuration errors, deadlock, oracle
-// violations or audit failures.
+// violations or audit failures. Shards > 0 routes through the parallel
+// engine (see runParallel).
 func Run(cfg Config) (*Results, error) {
+	if cfg.Shards > 0 {
+		return runParallel(cfg)
+	}
 	fab, procs, err := Build(cfg)
 	if err != nil {
 		return nil, err
@@ -176,7 +186,7 @@ func Run(cfg Config) (*Results, error) {
 	if err := fab.Drive(procs, 0); err != nil {
 		return nil, fmt.Errorf("system: %s/%s cov=%.3g: %w", cfg.DirKind, cfg.WorkloadName(), cfg.Coverage, err)
 	}
-	return collect(cfg, fab, procs, sampler), nil
+	return collect(cfg, fab, procs, sampler, fab.Engine.Now(), fab.Engine.EventsRun()), nil
 }
 
 // occupancySampler periodically walks the directory slices recording how
