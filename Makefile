@@ -6,9 +6,9 @@
 
 GO ?= go
 
-.PHONY: ci build test race vet lint lint-fast ignore-budget parallel-budget bench bench-engine bench-protocol bench-psim bench-smoke bench-psim-smoke race-psim
+.PHONY: ci build test race vet lint lint-fast ignore-budget parallel-budget bench bench-engine bench-protocol bench-psim bench-smoke bench-psim-smoke race-psim race-fleet
 
-ci: lint race race-psim bench-smoke bench-psim-smoke bench-protocol
+ci: lint race race-psim race-fleet bench-smoke bench-psim-smoke bench-protocol
 
 build:
 	$(GO) build ./...
@@ -70,6 +70,13 @@ race:
 # between a barrier bug and main.
 race-psim:
 	$(GO) test -race -count=1 ./internal/psim ./internal/system
+
+# race-fleet runs the service tier — coordinator, worker HTTP layer, and
+# runner — under the race detector with caching disabled, so the fleet's
+# cross-process coordination paths (dedup, failover, shedding, streaming)
+# are re-raced even when the full-suite run hits its test cache.
+race-fleet:
+	$(GO) test -race -count=1 ./internal/fleet ./internal/stashd ./internal/runner
 
 # bench records the engine scheduler benchmarks into BENCH_engine.json
 # (the repo's perf trajectory), then runs the figure/table suite.

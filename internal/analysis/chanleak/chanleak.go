@@ -41,6 +41,7 @@ import (
 var servicePackages = []string{
 	"internal/runner",
 	"internal/stashd",
+	"internal/fleet",
 }
 
 // Analyzer is the goroutine-send leak check.

@@ -34,6 +34,7 @@ import (
 var servicePackages = []string{
 	"internal/runner",
 	"internal/stashd",
+	"internal/fleet",
 }
 
 // Analyzer is the context-propagation check.

@@ -1,0 +1,545 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/runner"
+	"repro/internal/stashd"
+	"repro/internal/system"
+)
+
+// Defaults for CoordinatorOptions zero values.
+const (
+	defaultMaxPerWorker = 4
+	defaultDownCooldown = 2 * time.Second
+)
+
+// CoordinatorOptions configure a coordinator. Workers is the only mandatory
+// field.
+type CoordinatorOptions struct {
+	// Workers are the base URLs of the worker stashds (e.g.
+	// "http://10.0.0.1:8080"). Job keys consistent-hash across them.
+	Workers []string
+	// Replicas is the virtual-node count per worker; 0 picks the default.
+	Replicas int
+	// StoreDir, when set, is the shared content-addressed result store (the
+	// workers' disk-cache directory). The coordinator probes it before
+	// dispatching and answers hits itself with provenance "remote".
+	StoreDir string
+	// MaxPerWorker bounds outstanding dispatches per worker — the
+	// backpressure that keeps a slow worker from absorbing the whole sweep's
+	// concurrency; 0 picks the default.
+	MaxPerWorker int
+	// MaxPending sheds new requests (503 + Retry-After) once this many
+	// admitted jobs are unfinished fleet-wide; 0 disables shedding.
+	MaxPending int
+	// RatePerSec and Burst mirror stashd.Options: the per-client token
+	// bucket, refusing with 429 + Retry-After. 0 disables rate limiting.
+	RatePerSec float64
+	Burst      float64
+	// DownCooldown is how long a worker stays deprioritized after a
+	// transport failure; 0 picks the default.
+	DownCooldown time.Duration
+	// Client issues the dispatch requests; nil uses a plain http.Client
+	// (dispatches are cancelled through their contexts, not a client
+	// timeout).
+	Client *http.Client
+}
+
+// Coordinator is the fleet front door: an http.Handler exposing the same
+// POST /run and POST /sweep surface as a single stashd, implemented by
+// consistent-hashing each job's canonical config key across worker stashds.
+// Identical in-flight configs collapse to one dispatch fleet-wide, the
+// shared store answers repeats without touching a worker, and a down worker
+// fails over along the ring's preference order.
+type Coordinator struct {
+	opts    CoordinatorOptions
+	ring    *Ring
+	workers map[string]*workerState // immutable after construction
+	store   *runner.Store           // nil when StoreDir is unset
+	dedup   *dedup
+	limiter *stashd.Limiter
+	client  *http.Client
+	mux     *http.ServeMux
+	start   time.Time
+
+	pending    atomic.Int64 // admitted, unfinished jobs
+	proxied    atomic.Int64 // dispatches answered by a worker
+	remoteHits atomic.Int64 // jobs answered from the shared store
+	failovers  atomic.Int64 // dispatch attempts beyond a key's first choice
+	shedRate   atomic.Int64 // 429s issued
+	shedQueue  atomic.Int64 // 503s issued
+
+	mu           sync.Mutex
+	activeSweeps int //stash:guardedby mu
+}
+
+// workerState is the coordinator's view of one worker: a dispatch-slot
+// semaphore for backpressure and a health cooldown for failover ordering.
+type workerState struct {
+	name string        // base URL; also the ring member name
+	sem  chan struct{} // one slot per allowed outstanding dispatch
+
+	outstanding atomic.Int64 // dispatches in flight right now
+	dispatched  atomic.Int64 // dispatches ever answered by this worker
+
+	mu        sync.Mutex
+	downUntil time.Time //stash:guardedby mu
+}
+
+func (w *workerState) healthy(now time.Time) bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return !now.Before(w.downUntil)
+}
+
+func (w *workerState) markDown(until time.Time) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if until.After(w.downUntil) {
+		w.downUntil = until
+	}
+}
+
+// NewCoordinator validates the options and builds the handler.
+func NewCoordinator(opts CoordinatorOptions) (*Coordinator, error) {
+	if len(opts.Workers) == 0 {
+		return nil, fmt.Errorf("fleet: a coordinator needs at least one worker")
+	}
+	seen := map[string]bool{}
+	for _, w := range opts.Workers {
+		if w == "" {
+			return nil, fmt.Errorf("fleet: empty worker URL")
+		}
+		if seen[w] {
+			return nil, fmt.Errorf("fleet: duplicate worker %s", w)
+		}
+		seen[w] = true
+	}
+	if opts.MaxPerWorker <= 0 {
+		opts.MaxPerWorker = defaultMaxPerWorker
+	}
+	if opts.DownCooldown <= 0 {
+		opts.DownCooldown = defaultDownCooldown
+	}
+	c := &Coordinator{
+		opts:    opts,
+		ring:    NewRing(opts.Workers, opts.Replicas),
+		workers: make(map[string]*workerState, len(opts.Workers)),
+		dedup:   newDedup(),
+		limiter: stashd.NewLimiter(opts.RatePerSec, opts.Burst),
+		client:  opts.Client,
+		mux:     http.NewServeMux(),
+		start:   time.Now(),
+	}
+	if c.client == nil {
+		c.client = &http.Client{}
+	}
+	if opts.StoreDir != "" {
+		c.store = runner.OpenStore(opts.StoreDir)
+	}
+	for _, w := range opts.Workers {
+		c.workers[w] = &workerState{name: w, sem: make(chan struct{}, opts.MaxPerWorker)}
+	}
+	c.mux.HandleFunc("POST /run", c.handleRun)
+	c.mux.HandleFunc("POST /sweep", c.handleSweep)
+	c.mux.HandleFunc("GET /metrics", c.handleMetrics)
+	c.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	return c, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (c *Coordinator) ServeHTTP(w http.ResponseWriter, req *http.Request) {
+	c.mux.ServeHTTP(w, req)
+}
+
+// admitRate applies the per-client token bucket; a refusal writes the 429
+// itself and returns false. The contract matches the worker tier's, so a
+// client retries identically whichever tier shed it.
+func (c *Coordinator) admitRate(w http.ResponseWriter, req *http.Request) bool {
+	if c.limiter == nil {
+		return true
+	}
+	ok, retry := c.limiter.Allow(stashd.ClientKey(req), time.Now())
+	if ok {
+		return true
+	}
+	c.shedRate.Add(1)
+	w.Header().Set("Retry-After", strconv.Itoa(int(retry/time.Second)))
+	httpError(w, http.StatusTooManyRequests,
+		fmt.Errorf("fleet: client %s over rate limit; retry after %v", stashd.ClientKey(req), retry))
+	return false
+}
+
+// admitPending sheds a request whose jobs would push the fleet-wide pending
+// count past the bound; a refusal writes the 503 itself and returns false.
+// On admission the jobs are already counted — every admitted job must
+// eventually pass through one finishJob.
+func (c *Coordinator) admitPending(w http.ResponseWriter, jobs int) bool {
+	if c.opts.MaxPending <= 0 {
+		c.pending.Add(int64(jobs))
+		return true
+	}
+	depth := c.pending.Load()
+	if depth+int64(jobs) > int64(c.opts.MaxPending) {
+		c.shedQueue.Add(1)
+		// The coordinator has no run-latency estimate of its own; scale the
+		// wait with how far over the bound we are, clamped like the workers'.
+		retry := time.Duration(depth/int64(c.opts.MaxPending)+1) * time.Second
+		if retry > time.Minute {
+			retry = time.Minute
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(int(retry/time.Second)))
+		httpError(w, http.StatusServiceUnavailable,
+			fmt.Errorf("fleet: %d pending jobs + %d new exceeds limit %d; retry after %v",
+				depth, jobs, c.opts.MaxPending, retry))
+		return false
+	}
+	c.pending.Add(int64(jobs))
+	return true
+}
+
+func (c *Coordinator) finishJob() {
+	c.pending.Add(-1)
+}
+
+func (c *Coordinator) handleRun(w http.ResponseWriter, req *http.Request) {
+	if !c.admitRate(w, req) {
+		return
+	}
+	var rr stashd.RunRequest
+	if err := json.NewDecoder(req.Body).Decode(&rr); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("fleet: bad request body: %w", err))
+		return
+	}
+	cfg, err := rr.Config()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	key, err := runner.Key(cfg)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	if !c.admitPending(w, 1) {
+		return
+	}
+	defer c.finishJob()
+	out, err := c.runJob(req.Context(), key, cfg)
+	if err != nil {
+		if req.Context().Err() != nil {
+			return // the client is gone; nothing useful to write
+		}
+		httpError(w, http.StatusBadGateway, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(out.resp)
+}
+
+func (c *Coordinator) handleSweep(w http.ResponseWriter, req *http.Request) {
+	if !c.admitRate(w, req) {
+		return
+	}
+	var sr stashd.SweepRequest
+	if err := json.NewDecoder(req.Body).Decode(&sr); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("fleet: bad request body: %w", err))
+		return
+	}
+	cfgs, err := sr.Configs()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	keys := make([]string, len(cfgs))
+	for i, cfg := range cfgs {
+		if keys[i], err = runner.Key(cfg); err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+	}
+	if !c.admitPending(w, len(cfgs)) {
+		return
+	}
+
+	c.beginSweep()
+	defer c.endSweep()
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	start := time.Now()
+
+	// One goroutine per config, each sending exactly one line; the buffer
+	// covers them all, so an early return (client disconnect) strands
+	// nobody. The per-worker semaphores, not this fan-out, bound how much
+	// actually runs at once — a slow worker backpressures only its own
+	// share of the sweep.
+	lines := make(chan stashd.SweepLine, len(cfgs))
+	for i, cfg := range cfgs {
+		go func(i int, cfg system.Config) {
+			out, err := c.runJob(req.Context(), keys[i], cfg)
+			c.finishJob()
+			line := stashd.SweepLine{
+				Type:     "job",
+				Workload: cfg.Workload,
+				DirKind:  cfg.DirKind,
+				Coverage: cfg.Coverage,
+			}
+			if err != nil {
+				line.Error = err.Error()
+			} else {
+				line.JobID = out.resp.JobID
+				line.CacheHit = out.resp.CacheHit
+				line.DurationMS = out.resp.DurationMS
+				if res := out.resp.Result; res != nil {
+					line.Cycles = res.Cycles
+					line.AccessesPerKCycle = res.AccessesPerKCycle
+				}
+			}
+			lines <- line
+		}(i, cfg)
+	}
+
+	var done stashd.SweepLine
+	done.Type = "done"
+	for range cfgs {
+		var line stashd.SweepLine
+		select {
+		case line = <-lines:
+		case <-req.Context().Done():
+			// The client is gone. The buffered channel lets the remaining
+			// goroutines deliver and exit; their dedup registrations drop as
+			// their contexts cancel.
+			return
+		}
+		done.Jobs++
+		if line.CacheHit != "" {
+			done.CacheHits++
+		}
+		if line.Error != "" {
+			done.Failures++
+		}
+		if err := enc.Encode(line); err != nil {
+			return
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	done.ElapsedMS = float64(time.Since(start)) / float64(time.Millisecond)
+	// Same contract as the worker tier: the done line terminates the stream,
+	// so it is encoded with its error checked and explicitly flushed.
+	if err := enc.Encode(done); err != nil {
+		return
+	}
+	if flusher != nil {
+		flusher.Flush()
+	}
+}
+
+// runJob resolves one job: fleet-wide dedup wrapping a shared-store probe
+// and, on a miss, a ring-ordered dispatch. Concurrent identical configs —
+// even from different clients — share one execution.
+func (c *Coordinator) runJob(ctx context.Context, key string, cfg system.Config) (*outcome, error) {
+	return c.dedup.do(ctx, key, func(execCtx context.Context) (*outcome, error) {
+		if c.store != nil {
+			if res, _, ok := c.store.Get(key); ok {
+				c.remoteHits.Add(1)
+				return &outcome{resp: stashd.RunResponse{
+					JobID:    "store-" + key,
+					CacheHit: runner.HitRemote,
+					Result:   res,
+				}}, nil
+			}
+		}
+		return c.dispatch(execCtx, key, cfg)
+	})
+}
+
+// dispatch tries the key's workers in preference order — healthy owners
+// first, then the clockwise failover sequence, then deprioritized workers
+// as a last resort — until one answers.
+func (c *Coordinator) dispatch(ctx context.Context, key string, cfg system.Config) (*outcome, error) {
+	body, err := json.Marshal(stashd.InternalRunRequest{Config: cfg})
+	if err != nil {
+		return nil, fmt.Errorf("fleet: encode dispatch: %w", err)
+	}
+	var lastErr error
+	for i, ws := range c.preference(key) {
+		if i > 0 {
+			c.failovers.Add(1)
+		}
+		out, retryable, err := c.dispatchTo(ctx, ws, body)
+		if err == nil {
+			c.proxied.Add(1)
+			return out, nil
+		}
+		if ctx.Err() != nil {
+			return nil, err // every waiter left, or the deadline passed
+		}
+		if !retryable {
+			return nil, err
+		}
+		lastErr = err
+	}
+	return nil, fmt.Errorf("fleet: job %s failed on every worker: %w", key, lastErr)
+}
+
+// preference orders the key's workers for dispatch: the ring's failover
+// sequence, stably partitioned so workers inside a down cooldown sink to
+// the back (still tried — a cooldown is a hint, not an eviction).
+func (c *Coordinator) preference(key string) []*workerState {
+	names := c.ring.Preference(key)
+	now := time.Now()
+	out := make([]*workerState, 0, len(names))
+	down := make([]*workerState, 0, len(names))
+	for _, n := range names {
+		ws := c.workers[n]
+		if ws.healthy(now) {
+			out = append(out, ws)
+		} else {
+			down = append(down, ws)
+		}
+	}
+	return append(out, down...)
+}
+
+// dispatchTo runs one attempt against one worker. retryable reports whether
+// the failure is the worker's (unreachable, shedding) rather than the
+// job's: a 4xx or a simulation failure would reproduce identically
+// anywhere, so failing over would only burn another worker's time.
+func (c *Coordinator) dispatchTo(ctx context.Context, ws *workerState, body []byte) (*outcome, bool, error) {
+	select {
+	case ws.sem <- struct{}{}:
+	case <-ctx.Done():
+		return nil, false, ctx.Err()
+	}
+	ws.outstanding.Add(1)
+	defer func() {
+		ws.outstanding.Add(-1)
+		<-ws.sem //stash:blocking releasing the slot this dispatch holds never blocks
+	}()
+
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, ws.name+"/internal/run", bytes.NewReader(body))
+	if err != nil {
+		return nil, false, fmt.Errorf("fleet: build dispatch to %s: %w", ws.name, err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.client.Do(req)
+	if err != nil {
+		if ctx.Err() != nil {
+			// The dispatch was cancelled from our side (every waiter left);
+			// that says nothing about the worker's health.
+			return nil, false, ctx.Err()
+		}
+		ws.markDown(time.Now().Add(c.opts.DownCooldown))
+		return nil, true, fmt.Errorf("fleet: worker %s unreachable: %w", ws.name, err)
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		var rr stashd.RunResponse
+		if err := json.NewDecoder(resp.Body).Decode(&rr); err != nil {
+			ws.markDown(time.Now().Add(c.opts.DownCooldown))
+			return nil, true, fmt.Errorf("fleet: worker %s sent a bad response: %w", ws.name, err)
+		}
+		ws.dispatched.Add(1)
+		return &outcome{resp: rr, worker: ws.name}, false, nil
+	case http.StatusServiceUnavailable:
+		// The worker is shedding: alive but full. Fail over without a
+		// cooldown — its queue may drain before its neighbor's.
+		return nil, true, fmt.Errorf("fleet: worker %s shedding: %s", ws.name, readErrorBody(resp.Body))
+	default:
+		// 400s are malformed dispatches, 500s are deterministic simulation
+		// failures; both reproduce on every worker.
+		return nil, false, fmt.Errorf("fleet: worker %s rejected the job (HTTP %d): %s",
+			ws.name, resp.StatusCode, readErrorBody(resp.Body))
+	}
+}
+
+// readErrorBody extracts the worker's JSON error message, falling back to
+// the raw (bounded) body.
+func readErrorBody(r io.Reader) string {
+	b, _ := io.ReadAll(io.LimitReader(r, 4096))
+	var e struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(b, &e) == nil && e.Error != "" {
+		return e.Error
+	}
+	return strings.TrimSpace(string(b))
+}
+
+// httpError writes a JSON error body with the given status (the same shape
+// the worker tier writes, so clients parse one schema).
+func httpError(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+func (c *Coordinator) beginSweep() {
+	c.mu.Lock()
+	c.activeSweeps++
+	c.mu.Unlock()
+}
+
+func (c *Coordinator) endSweep() {
+	c.mu.Lock()
+	c.activeSweeps--
+	c.mu.Unlock()
+}
+
+func (c *Coordinator) activeSweepCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.activeSweeps
+}
+
+func (c *Coordinator) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	now := time.Now()
+	healthy := 0
+	for _, name := range c.ring.Workers() {
+		if c.workers[name].healthy(now) {
+			healthy++
+		}
+	}
+	fmt.Fprintf(w, "stashd_fleet_workers %d\n", len(c.workers))
+	fmt.Fprintf(w, "stashd_fleet_workers_healthy %d\n", healthy)
+	fmt.Fprintf(w, "stashd_fleet_pending_jobs %d\n", c.pending.Load())
+	fmt.Fprintf(w, "stashd_fleet_proxied_total %d\n", c.proxied.Load())
+	fmt.Fprintf(w, "stashd_fleet_coalesced_total %d\n", c.dedup.coalescedCount())
+	fmt.Fprintf(w, "stashd_fleet_remote_hits_total %d\n", c.remoteHits.Load())
+	fmt.Fprintf(w, "stashd_fleet_failovers_total %d\n", c.failovers.Load())
+	fmt.Fprintf(w, "stashd_shed_rate_total %d\n", c.shedRate.Load())
+	fmt.Fprintf(w, "stashd_shed_queue_total %d\n", c.shedQueue.Load())
+	fmt.Fprintf(w, "stashd_active_sweeps %d\n", c.activeSweepCount())
+	// Per-worker gauges in ring construction order, so scrapes are stable.
+	for _, name := range c.ring.Workers() {
+		ws := c.workers[name]
+		up := 0
+		if ws.healthy(now) {
+			up = 1
+		}
+		fmt.Fprintf(w, "stashd_fleet_worker_healthy{worker=%q} %d\n", name, up)
+		fmt.Fprintf(w, "stashd_fleet_worker_outstanding{worker=%q} %d\n", name, ws.outstanding.Load())
+		fmt.Fprintf(w, "stashd_fleet_worker_dispatched_total{worker=%q} %d\n", name, ws.dispatched.Load())
+	}
+	fmt.Fprintf(w, "stashd_uptime_seconds %.0f\n", time.Since(c.start).Seconds())
+}

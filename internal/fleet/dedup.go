@@ -1,0 +1,117 @@
+package fleet
+
+import (
+	"context"
+	"sync"
+
+	"repro/internal/stashd"
+)
+
+// outcome is what one dispatch produced: the worker's reply (or one
+// fabricated from the shared store), shared by however many clients joined
+// the call.
+type outcome struct {
+	resp   stashd.RunResponse
+	worker string // which worker served it; "" for shared-store hits
+}
+
+// call is one in-flight dispatch shared by every submitter of the same job
+// key — the runner's coalescing lifted to the fleet tier. Its execution is
+// detached from any single submitter: each joins as a waiter, and the
+// shared dispatch context is cancelled only when the last waiter has left.
+// One client disconnecting therefore cannot fail a dispatch another client
+// is still waiting on.
+type call struct {
+	key    string
+	done   chan struct{}
+	cancel context.CancelFunc
+
+	waiters  int  //stash:guardedby dedup.mu
+	finished bool //stash:guardedby dedup.mu
+
+	// out and err are written once, before done closes, and only read
+	// after; the close is the publication barrier.
+	out *outcome
+	err error
+}
+
+// dedup is the fleet-wide in-flight table. A key appears at most once; a
+// submission for a present key joins the existing call instead of
+// dispatching its own.
+type dedup struct {
+	mu        sync.Mutex
+	calls     map[string]*call //stash:guardedby mu
+	coalesced int64            //stash:guardedby mu
+}
+
+func newDedup() *dedup {
+	return &dedup{calls: make(map[string]*call)}
+}
+
+// do runs fn for key exactly once across every concurrent caller: the first
+// caller becomes the leader and executes fn on a goroutine with a context
+// that lives as long as any waiter remains; the rest join its call. Every
+// caller blocks until the shared dispatch finishes or its own ctx is
+// cancelled — and a caller abandoning the wait drops its registration, so
+// the dispatch itself is cancelled only when nobody is left wanting it.
+func (d *dedup) do(ctx context.Context, key string, fn func(ctx context.Context) (*outcome, error)) (*outcome, error) {
+	d.mu.Lock()
+	c, ok := d.calls[key]
+	if ok {
+		c.waiters++
+		d.coalesced++
+		d.mu.Unlock()
+	} else {
+		execCtx, cancel := context.WithCancel(context.Background())
+		c = &call{key: key, done: make(chan struct{}), cancel: cancel, waiters: 1}
+		d.calls[key] = c
+		d.mu.Unlock()
+		go func() {
+			out, err := fn(execCtx)
+			d.mu.Lock()
+			c.finished = true
+			if d.calls[key] == c {
+				delete(d.calls, key)
+			}
+			d.mu.Unlock()
+			c.out, c.err = out, err
+			close(c.done)
+			cancel() // release the context's resources; waiters are published
+		}()
+	}
+
+	select {
+	case <-c.done:
+		return c.out, c.err
+	case <-ctx.Done():
+		d.drop(c)
+		return nil, ctx.Err()
+	}
+}
+
+// drop releases one waiter registration; the last live waiter to leave an
+// unfinished call cancels its dispatch and retires the table entry so a
+// later identical submission starts fresh.
+func (d *dedup) drop(c *call) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if c.finished {
+		return
+	}
+	if c.waiters > 0 {
+		c.waiters--
+	}
+	if c.waiters == 0 {
+		c.cancel()
+		if d.calls[c.key] == c {
+			delete(d.calls, c.key)
+		}
+	}
+}
+
+// coalescedCount reports how many submissions joined an existing call.
+func (d *dedup) coalescedCount() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.coalesced
+}

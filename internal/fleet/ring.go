@@ -1,0 +1,115 @@
+// Package fleet scales the run service across processes: a coordinator
+// stashd consistent-hashes job keys (the runner's truncated-SHA-256
+// canonical-config hash) across N worker stashds, streams sweep results
+// back with backpressure, deduplicates identical in-flight configs
+// fleet-wide, and probes the shared content-addressed result store before
+// dispatching at all. Overload degrades instead of collapsing: per-client
+// token buckets and pending-job bounds shed with 429/503 + Retry-After on
+// the coordinator tier exactly as they do on the workers.
+package fleet
+
+import (
+	"fmt"
+	"sort"
+)
+
+// defaultReplicas is the virtual-node count per worker. 128 points per
+// worker keeps the largest/smallest ownership ratio within a few percent
+// for small fleets, and construction is O(workers·replicas·log) once.
+const defaultReplicas = 128
+
+// Ring is an immutable consistent-hash ring over worker names. Keys are the
+// runner's canonical config hashes — already uniformly distributed, which
+// is what makes them a perfect shard key — and each maps to a preference
+// order of distinct workers: the owner first, then the failover sequence.
+// Immutability after construction is what lets every lookup run lock-free.
+type Ring struct {
+	workers []string
+	points  []point // sorted by hash
+}
+
+// point is one virtual node: a position on the ring owned by a worker.
+type point struct {
+	hash   uint64
+	worker int // index into workers
+}
+
+// NewRing places each worker at replicas points on the ring. replicas <= 0
+// selects the default.
+func NewRing(workers []string, replicas int) *Ring {
+	if replicas <= 0 {
+		replicas = defaultReplicas
+	}
+	r := &Ring{workers: append([]string(nil), workers...)}
+	r.points = make([]point, 0, len(workers)*replicas)
+	for wi, w := range r.workers {
+		for v := 0; v < replicas; v++ {
+			r.points = append(r.points, point{hash: hash64(fmt.Sprintf("%s#%d", w, v)), worker: wi})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// Ties (vanishingly rare with 64-bit points) break by worker index
+		// so construction order never changes ownership.
+		return r.points[i].worker < r.points[j].worker
+	})
+	return r
+}
+
+// Workers returns the ring's members in construction order.
+func (r *Ring) Workers() []string {
+	return append([]string(nil), r.workers...)
+}
+
+// Owner returns the worker owning key: the first point at or clockwise from
+// the key's position.
+func (r *Ring) Owner(key string) string {
+	return r.workers[r.points[r.succ(key)].worker]
+}
+
+// Preference returns every worker in failover order for key: the owner,
+// then each distinct worker encountered walking the ring clockwise. Every
+// node computes the same order from the same membership, so the coordinator
+// and any future peer agree on where a key lives and where it moves when a
+// worker is down.
+func (r *Ring) Preference(key string) []string {
+	out := make([]string, 0, len(r.workers))
+	seen := make([]bool, len(r.workers))
+	for i, n := r.succ(key), 0; n < len(r.points) && len(out) < len(r.workers); i, n = (i+1)%len(r.points), n+1 {
+		w := r.points[i].worker
+		if !seen[w] {
+			seen[w] = true
+			out = append(out, r.workers[w])
+		}
+	}
+	return out
+}
+
+// succ returns the index of the first point at or after key's hash,
+// wrapping at the top of the ring.
+func (r *Ring) succ(key string) int {
+	h := hash64(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return i
+}
+
+// hash64 is FNV-1a over s, inlined so a lookup never allocates. The job
+// keys fed to it are themselves truncated SHA-256 hex, so the ring needs
+// dispersion, not cryptographic strength.
+func hash64(s string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	return h
+}

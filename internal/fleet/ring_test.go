@@ -1,0 +1,78 @@
+package fleet
+
+import (
+	"fmt"
+	"testing"
+)
+
+func testKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key-%04d", i)
+	}
+	return keys
+}
+
+func TestRingOwnerDeterministicAndOrderIndependent(t *testing.T) {
+	workers := []string{"http://a", "http://b", "http://c"}
+	reversed := []string{"http://c", "http://b", "http://a"}
+	r1 := NewRing(workers, 0)
+	r2 := NewRing(workers, 0)
+	r3 := NewRing(reversed, 0)
+	for _, k := range testKeys(1000) {
+		if r1.Owner(k) != r2.Owner(k) {
+			t.Fatalf("owner of %q differs between identical rings", k)
+		}
+		if r1.Owner(k) != r3.Owner(k) {
+			t.Fatalf("owner of %q depends on construction order: %q vs %q", k, r1.Owner(k), r3.Owner(k))
+		}
+	}
+}
+
+func TestRingPreferenceCoversAllWorkersOnce(t *testing.T) {
+	workers := []string{"http://a", "http://b", "http://c", "http://d"}
+	r := NewRing(workers, 0)
+	for _, k := range testKeys(200) {
+		pref := r.Preference(k)
+		if len(pref) != len(workers) {
+			t.Fatalf("preference for %q has %d workers, want %d", k, len(pref), len(workers))
+		}
+		if pref[0] != r.Owner(k) {
+			t.Fatalf("preference for %q starts at %q, owner is %q", k, pref[0], r.Owner(k))
+		}
+		seen := map[string]bool{}
+		for _, w := range pref {
+			if seen[w] {
+				t.Fatalf("preference for %q repeats worker %q", k, w)
+			}
+			seen[w] = true
+		}
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	workers := []string{"http://a", "http://b", "http://c"}
+	r := NewRing(workers, 0)
+	counts := map[string]int{}
+	keys := testKeys(9000)
+	for _, k := range keys {
+		counts[r.Owner(k)]++
+	}
+	// With 128 virtual nodes per worker the split should be within a factor
+	// of two of even — the point of virtual nodes.
+	for _, w := range workers {
+		share := float64(counts[w]) / float64(len(keys))
+		if share < 1.0/(2*float64(len(workers))) || share > 2.0/float64(len(workers)) {
+			t.Fatalf("worker %s owns %.1f%% of keys; distribution too skewed: %v", w, 100*share, counts)
+		}
+	}
+}
+
+func TestRingSingleWorkerOwnsEverything(t *testing.T) {
+	r := NewRing([]string{"http://only"}, 0)
+	for _, k := range testKeys(50) {
+		if got := r.Owner(k); got != "http://only" {
+			t.Fatalf("Owner(%q) = %q", k, got)
+		}
+	}
+}

@@ -25,6 +25,7 @@ type counters struct {
 
 	hitsMemory atomic.Int64
 	hitsDisk   atomic.Int64
+	hitsPeer   atomic.Int64
 	misses     atomic.Int64
 	diskErrors atomic.Int64
 
@@ -75,9 +76,11 @@ type Metrics struct {
 	// already queued or running instead of spawning their own.
 	JobsCoalesced int64
 
-	// Cache outcomes, judged at submission time.
+	// Cache outcomes, judged at submission time. Peer hits are disk-store
+	// entries populated by a different node sharing the cache directory.
 	CacheHitsMemory int64
 	CacheHitsDisk   int64
+	CacheHitsPeer   int64
 	CacheMisses     int64
 	// CacheWriteErrors counts failed disk-cache persists (the run itself
 	// still succeeds).
@@ -85,6 +88,8 @@ type Metrics struct {
 
 	// InFlight is the number of workers currently simulating.
 	InFlight int64
+	// QueueDepth is the number of jobs queued but not yet started.
+	QueueDepth int64
 
 	// Latency percentiles over the last real (non-cached) runs.
 	RunLatencyP50 time.Duration
@@ -104,13 +109,15 @@ func (r *Runner) Metrics() Metrics {
 		JobsCoalesced:    c.coalesced.Load(),
 		CacheHitsMemory:  c.hitsMemory.Load(),
 		CacheHitsDisk:    c.hitsDisk.Load(),
+		CacheHitsPeer:    c.hitsPeer.Load(),
 		CacheMisses:      c.misses.Load(),
 		CacheWriteErrors: c.diskErrors.Load(),
 		InFlight:         c.inFlight.Load(),
+		QueueDepth:       int64(r.QueueDepth()),
 		RunLatencyP50:    p50,
 		RunLatencyP95:    p95,
 	}
 }
 
-// CacheHits returns the combined memory+disk hit count.
-func (m Metrics) CacheHits() int64 { return m.CacheHitsMemory + m.CacheHitsDisk }
+// CacheHits returns the combined memory+disk+peer hit count.
+func (m Metrics) CacheHits() int64 { return m.CacheHitsMemory + m.CacheHitsDisk + m.CacheHitsPeer }

@@ -52,8 +52,14 @@ type Options struct {
 	Retries int
 	// CacheDir, when non-empty, persists results as JSON files so
 	// identical configs hit the cache across process restarts. Corrupt or
-	// unreadable entries degrade to misses.
+	// unreadable entries degrade to misses. A fleet of workers may share
+	// one directory: writes are atomic, and entries record their Origin so
+	// cross-worker hits surface as HitPeer.
 	CacheDir string
+	// Origin names this node in disk-cache entries it writes. Empty is
+	// fine for a single-node server; a fleet gives each worker a distinct
+	// origin so shared-store hits can be attributed (HitDisk vs HitPeer).
+	Origin string
 	// MemoryEntries bounds the in-memory LRU in front of the disk cache:
 	// 0 selects DefaultMemoryEntries, UnlimitedMemory (< 0) removes the
 	// bound.
@@ -299,21 +305,33 @@ type Runner struct {
 	execute func(system.Config) (*system.Results, error)
 
 	mem  *memCache
-	disk *diskCache
+	disk resultStore
 	met  counters
 
 	mu   sync.Mutex
 	cond *sync.Cond
 	// pending is the FIFO work queue; inflight maps key to its queued or
 	// running job; jobs maps id to job (bounded retention); finished holds
-	// finished job ids, oldest first.
-	pending  []*Job          //stash:guardedby mu
-	inflight map[string]*Job //stash:guardedby mu
-	jobs     map[string]*Job //stash:guardedby mu
-	finished []string        //stash:guardedby mu
-	seq      int             //stash:guardedby mu
-	closed   bool            //stash:guardedby mu
+	// finished job ids, oldest first; probes maps key to the in-flight
+	// disk-cache probe for it (single-flight: one prober per key).
+	pending  []*Job                //stash:guardedby mu
+	inflight map[string]*Job       //stash:guardedby mu
+	jobs     map[string]*Job       //stash:guardedby mu
+	finished []string              //stash:guardedby mu
+	probes   map[string]*diskProbe //stash:guardedby mu
+	seq      int                   //stash:guardedby mu
+	closed   bool                  //stash:guardedby mu
 	wg       sync.WaitGroup
+}
+
+// diskProbe single-flights the unlocked disk-cache probe for one key: the
+// first submitter of a key becomes the prober, identical submissions that
+// race it park on done instead of probing (and possibly enqueueing) on
+// their own. done is closed after the prober has published its outcome —
+// a cache-completed job or an enqueued inflight job — under the runner
+// lock, so woken waiters always find one of the two.
+type diskProbe struct {
+	done chan struct{}
 }
 
 // New starts a runner and its worker pool.
@@ -335,9 +353,10 @@ func New(opts Options) *Runner {
 		mem:      newMemCache(memEntries),
 		inflight: make(map[string]*Job),
 		jobs:     make(map[string]*Job),
+		probes:   make(map[string]*diskProbe),
 	}
 	if opts.CacheDir != "" {
-		r.disk = &diskCache{dir: opts.CacheDir}
+		r.disk = newDiskCache(opts.CacheDir, opts.Origin)
 	}
 	r.cond = sync.NewCond(&r.mu)
 	r.wg.Add(workers)
@@ -461,46 +480,94 @@ func (r *Runner) submit(ctx context.Context, cfg system.Config) (*Job, *waiter, 
 			return j, &waiter{}, nil
 		}
 	}
-	r.mu.Unlock()
 
-	// Disk probe happens outside the lock: it is file IO. A concurrent
-	// identical submission can slip past and enqueue a real run; that
-	// duplicates work at worst, never corrupts state.
-	if r.disk != nil && !r.opts.DisableCache {
-		if res, ok := r.disk.get(key); ok {
-			r.mu.Lock()
-			if r.closed {
-				r.mu.Unlock()
-				return nil, nil, ErrClosed
-			}
-			r.mem.put(key, res)
-			j := r.completeFromCacheLocked(key, cfg, res, HitDisk)
-			r.mu.Unlock()
-			r.emitCached(j)
-			return j, &waiter{}, nil
-		}
-	}
-
-	r.mu.Lock()
-	if r.closed {
+	if r.disk == nil || r.opts.DisableCache {
+		// No persistent tier to probe: enqueue under the same lock that
+		// ruled out coalescing, leaving no window for a duplicate.
+		j, w := r.enqueueLocked(ctx, key, cfg)
 		r.mu.Unlock()
-		return nil, nil, ErrClosed
+		r.emit(Event{Kind: EventQueued, JobID: j.id, Key: key, Config: cfg})
+		return j, w, nil
 	}
-	if !r.opts.DisableCache {
-		if j, ok := r.inflight[key]; ok { // raced with another submitter
+
+	// The disk probe is file IO and happens outside the lock — but it is
+	// single-flighted per key. The first submitter becomes the prober;
+	// identical submissions racing it park on the probe instead of
+	// slipping past the unlocked window and enqueueing a duplicate
+	// multi-second simulation (a real cost once a fleet multiplies
+	// submitters of the same sweep).
+	for {
+		p, ok := r.probes[key]
+		if !ok {
+			break // no probe in flight: become the prober
+		}
+		r.mu.Unlock()
+		select {
+		case <-p.done:
+		case <-ctx.Done():
+			return nil, nil, ctx.Err()
+		}
+		r.mu.Lock()
+		if r.closed {
+			r.mu.Unlock()
+			return nil, nil, ErrClosed
+		}
+		// The prober published its outcome before closing done: an
+		// inflight job to coalesce onto, or a cached result now in memory.
+		if j, ok := r.inflight[key]; ok {
 			if w := j.register(ctx); w != nil {
 				r.met.coalesced.Add(1)
 				r.mu.Unlock()
 				return j, w, nil
 			}
 		}
-		if res, ok := r.mem.get(key); ok { // raced with a finishing identical job
+		if res, ok := r.mem.get(key); ok {
 			j := r.completeFromCacheLocked(key, cfg, res, HitMemory)
 			r.mu.Unlock()
 			r.emitCached(j)
 			return j, &waiter{}, nil
 		}
+		// Neither survived (the job finished and its entry was evicted, or
+		// a fresh probe started): loop, and probe ourselves if the slot is
+		// free.
 	}
+	p := &diskProbe{done: make(chan struct{})}
+	r.probes[key] = p
+	r.mu.Unlock()
+
+	res, origin, hit := r.disk.get(key)
+
+	r.mu.Lock()
+	delete(r.probes, key)
+	if r.closed {
+		r.mu.Unlock()
+		close(p.done)
+		return nil, nil, ErrClosed
+	}
+	if hit {
+		r.mem.put(key, res)
+		prov := HitDisk
+		if origin != "" && origin != r.opts.Origin {
+			// The entry was populated by another node sharing the store.
+			prov = HitPeer
+		}
+		j := r.completeFromCacheLocked(key, cfg, res, prov)
+		r.mu.Unlock()
+		close(p.done)
+		r.emitCached(j)
+		return j, &waiter{}, nil
+	}
+	j, w := r.enqueueLocked(ctx, key, cfg)
+	r.mu.Unlock()
+	close(p.done)
+	r.emit(Event{Kind: EventQueued, JobID: j.id, Key: key, Config: cfg})
+	return j, w, nil
+}
+
+// enqueueLocked constructs, registers and queues a fresh job for key.
+//
+//stash:locked mu
+func (r *Runner) enqueueLocked(ctx context.Context, key string, cfg system.Config) (*Job, *waiter) {
 	j := r.newJobLocked(key, cfg, StateQueued)
 	j.execCtx, j.cancel = context.WithCancel(context.Background())
 	// Register before the job is published: no other goroutine can see j
@@ -513,9 +580,7 @@ func (r *Runner) submit(ctx context.Context, cfg system.Config) (*Job, *waiter, 
 	r.met.queued.Add(1)
 	r.met.misses.Add(1)
 	r.cond.Signal()
-	r.mu.Unlock()
-	r.emit(Event{Kind: EventQueued, JobID: j.id, Key: key, Config: cfg})
-	return j, w, nil
+	return j, w
 }
 
 // Job returns a job by ID while it is queued, running, or among the most
@@ -525,6 +590,14 @@ func (r *Runner) Job(id string) (*Job, bool) {
 	defer r.mu.Unlock()
 	j, ok := r.jobs[id]
 	return j, ok
+}
+
+// QueueDepth reports how many jobs are queued but not yet picked up by a
+// worker — the signal admission control (queue shedding) keys off.
+func (r *Runner) QueueDepth() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.pending)
 }
 
 // Close stops accepting submissions and blocks until every queued and
@@ -576,9 +649,12 @@ func (r *Runner) completeFromCacheLocked(key string, cfg system.Config, res *sys
 	close(j.done)
 	r.met.queued.Add(1)
 	r.met.completed.Add(1)
-	if hit == HitMemory {
+	switch hit {
+	case HitMemory:
 		r.met.hitsMemory.Add(1)
-	} else {
+	case HitPeer:
+		r.met.hitsPeer.Add(1)
+	default:
 		r.met.hitsDisk.Add(1)
 	}
 	r.retainLocked(j)

@@ -103,6 +103,14 @@ func (q *RunRequest) Config() (system.Config, error) {
 	return cfg, cfg.Validate()
 }
 
+// InternalRunRequest is the POST /internal/run body: one fully resolved
+// configuration, dispatched by the fleet coordinator. Workers key their
+// caches on exactly this config, so the coordinator's consistent-hash key
+// and the worker's cache key always agree.
+type InternalRunRequest struct {
+	Config system.Config `json:"config"`
+}
+
 // RunResponse is the POST /run reply.
 type RunResponse struct {
 	JobID      string          `json:"jobId"`

@@ -1,0 +1,101 @@
+package stashd
+
+import (
+	"math"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// maxTrackedClients bounds the limiter's client table. When the table is
+// full, buckets that have fully refilled (idle clients) are pruned; an
+// attacker cycling client identities therefore costs at most this many
+// bucket structs.
+const maxTrackedClients = 8192
+
+// Limiter is a per-client token-bucket rate limiter shared by the worker
+// and coordinator tiers. Each client identity owns one bucket of capacity
+// burst refilling at rate tokens per second; an admission takes one token.
+// Refill is computed lazily from timestamps, so the limiter needs no
+// background goroutine and is safe to drop without cleanup.
+type Limiter struct {
+	rate  float64
+	burst float64
+
+	mu      sync.Mutex
+	buckets map[string]*bucket //stash:guardedby mu
+}
+
+type bucket struct {
+	tokens float64   //stash:guardedby Limiter.mu
+	last   time.Time //stash:guardedby Limiter.mu
+}
+
+// NewLimiter builds a limiter admitting ratePerSec requests per client per
+// second with the given burst. A non-positive rate returns nil, which every
+// call site treats as "unlimited". A non-positive burst defaults to
+// max(1, 2*rate): one admission always fits, and a well-behaved client can
+// absorb a small backlog without shedding.
+func NewLimiter(ratePerSec, burst float64) *Limiter {
+	if ratePerSec <= 0 {
+		return nil
+	}
+	if burst <= 0 {
+		burst = math.Max(1, 2*ratePerSec)
+	}
+	return &Limiter{rate: ratePerSec, burst: burst, buckets: make(map[string]*bucket)}
+}
+
+// Allow decides one admission for client at time now. On refusal it returns
+// how long the client should wait before one token has accrued — the
+// Retry-After value of the 429.
+func (l *Limiter) Allow(client string, now time.Time) (ok bool, retryAfter time.Duration) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b, exists := l.buckets[client]
+	if !exists {
+		if len(l.buckets) >= maxTrackedClients {
+			l.pruneLocked()
+		}
+		b = &bucket{tokens: l.burst, last: now}
+		l.buckets[client] = b
+	}
+	elapsed := now.Sub(b.last).Seconds()
+	if elapsed > 0 {
+		b.tokens = math.Min(l.burst, b.tokens+elapsed*l.rate)
+		b.last = now
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	need := (1 - b.tokens) / l.rate
+	return false, time.Duration(math.Ceil(need)) * time.Second
+}
+
+// pruneLocked drops buckets that have fully refilled: an idle client's next
+// admission recreates an identical bucket, so forgetting it changes nothing.
+//
+//stash:locked mu
+func (l *Limiter) pruneLocked() {
+	for c, b := range l.buckets {
+		if b.tokens >= l.burst {
+			delete(l.buckets, c)
+		}
+	}
+}
+
+// ClientKey identifies the requester for rate limiting: an explicit
+// X-Stashd-Client header when present (how the coordinator forwards the
+// original client's identity through the proxy), else the remote host.
+func ClientKey(req *http.Request) string {
+	if c := req.Header.Get("X-Stashd-Client"); c != "" {
+		return c
+	}
+	host, _, err := net.SplitHostPort(req.RemoteAddr)
+	if err != nil {
+		return req.RemoteAddr
+	}
+	return host
+}
