@@ -6,9 +6,9 @@
 
 GO ?= go
 
-.PHONY: ci build test race vet lint lint-fast ignore-budget parallel-budget bench bench-engine bench-protocol bench-psim bench-smoke bench-psim-smoke race-psim race-fleet
+.PHONY: ci build test race vet lint lint-fast ignore-budget parallel-budget bench bench-engine bench-protocol bench-psim bench-trace bench-smoke bench-psim-smoke bench-trace-smoke race-psim race-fleet
 
-ci: lint race race-psim race-fleet bench-smoke bench-psim-smoke bench-protocol
+ci: lint race race-psim race-fleet bench-smoke bench-psim-smoke bench-trace-smoke bench-protocol
 
 build:
 	$(GO) build ./...
@@ -104,6 +104,16 @@ bench-protocol:
 bench-psim:
 	$(GO) test -run '^$$' -bench BenchmarkPsim -benchmem ./internal/system | $(GO) run ./cmd/benchjson -o BENCH_psim.json
 
+# bench-trace records the trace-pipeline benchmarks into BENCH_trace.json:
+# the text-vs-binary replay comparison (internal/trace, 1M-access streams)
+# and the 16-to-256-core binary-replay scaling sweep (internal/system).
+# The zero-alloc gate applies only to the ReplayBinary entries — the
+# binary hot path's contract — since the text baseline and the
+# full-system scaling runs allocate by design.
+bench-trace:
+	@$(GO) test -run '^$$' -bench BenchmarkTrace -benchmem ./internal/trace ./internal/system | $(GO) run ./cmd/benchjson -o BENCH_trace.json -max-allocs 0 -max-allocs-filter 'ReplayBinary' || \
+		{ echo "bench-trace: binary replay hot path allocates; run 'make lint' — the hotpath analyzer pinpoints allocation sites in //stash:hotpath functions" >&2; exit 1; }
+
 # bench-smoke executes every engine benchmark exactly once so ci catches
 # benchmark bit-rot without paying full measurement time.
 bench-smoke:
@@ -111,3 +121,7 @@ bench-smoke:
 
 bench-psim-smoke:
 	$(GO) test -run '^$$' -bench BenchmarkPsim -benchtime=1x -benchmem ./internal/system
+
+bench-trace-smoke:
+	@$(GO) test -run '^$$' -bench BenchmarkTrace -benchtime=1x -benchmem ./internal/trace ./internal/system | $(GO) run ./cmd/benchjson -max-allocs 0 -max-allocs-filter 'ReplayBinary' > /dev/null || \
+		{ echo "bench-trace-smoke: binary replay hot path allocates; run 'make lint'" >&2; exit 1; }

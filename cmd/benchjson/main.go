@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"regexp"
 	"time"
 
 	"repro/internal/benchfmt"
@@ -23,7 +24,18 @@ func main() {
 	out := flag.String("o", "", "output JSON file (default stdout only)")
 	maxAllocs := flag.Float64("max-allocs", -1,
 		"fail if any benchmark reports more than this many allocs/op (-1 disables)")
+	maxAllocsFilter := flag.String("max-allocs-filter", "",
+		"regexp restricting -max-allocs to matching benchmark names (empty = all); lets one run mix gated zero-alloc paths with allocating baselines")
 	flag.Parse()
+
+	var filter *regexp.Regexp
+	if *maxAllocsFilter != "" {
+		var err error
+		if filter, err = regexp.Compile(*maxAllocsFilter); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson: -max-allocs-filter:", err)
+			os.Exit(1)
+		}
+	}
 
 	var buf bytes.Buffer
 	if _, err := io.Copy(io.MultiWriter(&buf, os.Stdout), os.Stdin); err != nil {
@@ -39,6 +51,9 @@ func main() {
 	if *maxAllocs >= 0 {
 		bad := false
 		for _, b := range rep.Benchmarks {
+			if filter != nil && !filter.MatchString(b.Name) {
+				continue
+			}
 			if a, ok := b.Metrics["allocs/op"]; ok && a > *maxAllocs {
 				fmt.Fprintf(os.Stderr, "benchjson: %s allocates %v allocs/op (max %v)\n",
 					b.Name, a, *maxAllocs)

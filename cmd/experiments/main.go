@@ -76,6 +76,8 @@ func main() {
 		{"fig13", func() (*stats.Table, error) { tb, _, err := h.Fig13EntryFormat(); return tb, err }},
 		{"fig14", func() (*stats.Table, error) { tb, _, err := h.Fig14PrivateL2(); return tb, err }},
 		{"fig15", func() (*stats.Table, error) { tb, _, err := h.Fig15ReplacementPolicy(); return tb, err }},
+		{"scaling", func() (*stats.Table, error) { tb, _, err := h.ScalingStudy(); return tb, err }},
+		{"scaling-recalls", h.ScalingRecalls},
 	}
 
 	selected := map[string]bool{}

@@ -29,7 +29,7 @@ func main() {
 		workload = flag.String("workload", "canneal", "workload name (see -list)")
 		dirKind  = flag.String("dir", stashsim.DirStash, "directory organization (see -list)")
 		coverage = flag.Float64("coverage", 1, "directory entries / aggregate L1 blocks")
-		cores    = flag.Int("cores", 16, "core count (1,2,4,8,16,32,64)")
+		cores    = flag.Int("cores", 16, "core count (1,2,4,8,16,32,64,128,256)")
 		dirWays  = flag.Int("dir-ways", 4, "directory associativity")
 		accesses = flag.Int("accesses", 0, "accesses per core (0 = config default)")
 		seed     = flag.Int64("seed", 1, "workload seed")
@@ -38,7 +38,7 @@ func main() {
 		noCheck  = flag.Bool("no-checker", false, "disable the data-value oracle and audits")
 		shards   = flag.Int("shards", 0, "parallel-engine worker count (0 = serial engine); implies -no-checker")
 		sample   = flag.Uint64("sample-period", 20_000, "directory occupancy sampling period in cycles (0 = off)")
-		traceDir = flag.String("trace-dir", "", "replay core<NN>.trace files from this directory instead of a synthetic workload")
+		traceDir = flag.String("trace-dir", "", "replay core<NN>.btrace (binary) or core<NN>.trace (text) files from this directory instead of a synthetic workload")
 		jsonOut  = flag.Bool("json", false, "emit the full results as JSON instead of the text summary")
 		cacheDir = flag.String("cache-dir", "", "reuse results from this disk cache directory (shared with stashd and experiments)")
 		list     = flag.Bool("list", false, "list workloads and directory kinds, then exit")
@@ -81,7 +81,14 @@ func main() {
 	if *traceDir != "" {
 		cfg.Workload = ""
 		for c := 0; c < cfg.Cores; c++ {
-			cfg.TraceFiles = append(cfg.TraceFiles, filepath.Join(*traceDir, fmt.Sprintf("core%02d.trace", c)))
+			// Prefer a binary trace (tracegen -binary) when one exists;
+			// fall back to the text format. Either replays identically —
+			// system.Config sniffs the actual format by magic.
+			path := filepath.Join(*traceDir, fmt.Sprintf("core%02d.btrace", c))
+			if _, err := os.Stat(path); err != nil {
+				path = filepath.Join(*traceDir, fmt.Sprintf("core%02d.trace", c))
+			}
+			cfg.TraceFiles = append(cfg.TraceFiles, path)
 		}
 	}
 

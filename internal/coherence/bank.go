@@ -840,7 +840,7 @@ func (bk *Bank) fwdGetMDone(tbe *dirTBE) {
 		line.Data = tbe.dirtyData
 		line.State = mem.Modified
 	}
-	entry.Sharers = 0
+	entry.Sharers.Clear()
 	entry.Sharers.Add(r)
 	entry.Owned = true
 	if tbe.forwarded {
@@ -862,7 +862,7 @@ func (bk *Bank) invOwnerDone(tbe *dirTBE) {
 		line.Data = tbe.dirtyData
 		line.State = mem.Modified
 	}
-	entry.Sharers = 0
+	entry.Sharers.Clear()
 	entry.Sharers.Add(r)
 	entry.Owned = true
 	g := bk.fab.newMsg(MsgDataM, tbe.block)
@@ -876,7 +876,7 @@ func (bk *Bank) invOwnerDone(tbe *dirTBE) {
 //stash:hotpath
 func (bk *Bank) invSharersDone(tbe *dirTBE) {
 	entry, r := tbe.entry, tbe.reqFrom
-	entry.Sharers = 0
+	entry.Sharers.Clear()
 	entry.Overflowed = false
 	entry.Sharers.Add(r)
 	entry.Owned = true

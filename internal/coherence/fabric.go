@@ -3,6 +3,7 @@ package coherence
 import (
 	"fmt"
 
+	"repro/internal/core"
 	"repro/internal/mem"
 	"repro/internal/noc"
 	"repro/internal/psim"
@@ -57,8 +58,8 @@ func DefaultParams(cores int) Params {
 
 // Validate checks the parameters.
 func (p Params) Validate() error {
-	if p.Cores < 1 || p.Cores > 64 {
-		return fmt.Errorf("coherence: cores must be in [1,64], got %d", p.Cores)
+	if p.Cores < 1 || p.Cores > core.MaxCores {
+		return fmt.Errorf("coherence: cores must be in [1,%d], got %d", core.MaxCores, p.Cores)
 	}
 	if p.RetryDelay == 0 {
 		return fmt.Errorf("coherence: retry delay must be nonzero")

@@ -99,6 +99,11 @@ func (p *Processor) Stats() *stats.Set { return p.set }
 // L1 returns the processor's cache controller.
 func (p *Processor) L1() *L1 { return p.l1 }
 
+// Source returns the access source feeding this processor. The system
+// layer uses it to close file-backed sources and surface deferred read
+// errors after a run.
+func (p *Processor) Source() AccessSource { return p.src }
+
 // pump issues accesses while MSHRs are free, pacing issues one think-time
 // apart.
 //

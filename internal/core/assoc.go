@@ -153,7 +153,7 @@ func (s *assocStore) victim(b mem.Block, busy func(mem.Block) bool, preferOnly b
 func (s *assocStore) remove(b mem.Block) bool {
 	if e := s.find(b); e != nil {
 		e.valid = false
-		e.Sharers = 0
+		e.Sharers.Clear()
 		e.Owned = false
 		e.Overflowed = false
 		return true

@@ -231,7 +231,7 @@ func (d *Cuckoo) shiftPath(frontier []cuckooNode, end int) {
 		dst.Overflowed = src.Overflowed
 		dst.valid = true
 		src.valid = false
-		src.Sharers = 0
+		src.Sharers.Clear()
 		src.Owned = false
 		src.Overflowed = false
 		d.st.relocates.Inc()
@@ -244,7 +244,7 @@ func (d *Cuckoo) Remove(b mem.Block) {
 		e := d.slotFor(w, b)
 		if e.valid && e.Block == b {
 			e.valid = false
-			e.Sharers = 0
+			e.Sharers.Clear()
 			e.Owned = false
 			e.Overflowed = false
 			d.st.removes.Inc()

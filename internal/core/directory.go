@@ -31,28 +31,53 @@ import (
 )
 
 // MaxCores is the largest core count a directory entry can track. Sharer
-// sets are full-map bit vectors packed in a uint64, matching the paper's
-// 16-to-64-core evaluation range.
-const MaxCores = 64
+// sets are full-map bit vectors packed in an array of uint64 words; four
+// words cover the scaling study's 16-to-256-core range.
+const MaxCores = 256
+
+// sharerWords is the number of 64-bit words backing a SharerSet.
+const sharerWords = MaxCores / 64
 
 // SharerSet is a full-map sharer bit vector: bit i set means core i holds a
-// copy.
-type SharerSet uint64
+// copy. The zero value is the empty set.
+type SharerSet struct {
+	w [sharerWords]uint64
+}
 
 // Add sets core's bit.
-func (s *SharerSet) Add(core int) { *s |= 1 << uint(core) }
+func (s *SharerSet) Add(core int) { s.w[uint(core)/64] |= 1 << (uint(core) % 64) }
 
 // Remove clears core's bit.
-func (s *SharerSet) Remove(core int) { *s &^= 1 << uint(core) }
+func (s *SharerSet) Remove(core int) { s.w[uint(core)/64] &^= 1 << (uint(core) % 64) }
+
+// Clear empties the set.
+func (s *SharerSet) Clear() {
+	for i := range s.w {
+		s.w[i] = 0
+	}
+}
 
 // Has reports whether core's bit is set.
-func (s SharerSet) Has(core int) bool { return s&(1<<uint(core)) != 0 }
+func (s SharerSet) Has(core int) bool { return s.w[uint(core)/64]&(1<<(uint(core)%64)) != 0 }
 
 // Count returns the number of sharers.
-func (s SharerSet) Count() int { return bits.OnesCount64(uint64(s)) }
+func (s SharerSet) Count() int {
+	n := 0
+	for _, w := range s.w {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
 
 // Empty reports whether no core is tracked.
-func (s SharerSet) Empty() bool { return s == 0 }
+func (s SharerSet) Empty() bool {
+	for _, w := range s.w {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
 
 // Only returns the single set core, or -1 if the set does not contain
 // exactly one core.
@@ -60,16 +85,21 @@ func (s SharerSet) Only() int {
 	if s.Count() != 1 {
 		return -1
 	}
-	return bits.TrailingZeros64(uint64(s))
+	for i, w := range s.w {
+		if w != 0 {
+			return i*64 + bits.TrailingZeros64(w)
+		}
+	}
+	return -1
 }
 
 // ForEach calls fn for every sharer in ascending core order.
 func (s SharerSet) ForEach(fn func(core int)) {
-	v := uint64(s)
-	for v != 0 {
-		c := bits.TrailingZeros64(v)
-		fn(c)
-		v &= v - 1
+	for i, w := range s.w {
+		for w != 0 {
+			fn(i*64 + bits.TrailingZeros64(w))
+			w &= w - 1
+		}
 	}
 }
 
@@ -125,7 +155,7 @@ func (e *Entry) AddSharer(core, limit int) {
 
 func (e *Entry) reset(b mem.Block) {
 	e.Block = b
-	e.Sharers = 0
+	e.Sharers.Clear()
 	e.Owned = false
 	e.Overflowed = false
 	e.valid = true
@@ -142,7 +172,8 @@ func (e *Entry) String() string {
 	if e.Overflowed {
 		kind += "+ovf"
 	}
-	return fmt.Sprintf("blk=%#x %s sharers=%064b", uint64(e.Block), kind, uint64(e.Sharers))
+	return fmt.Sprintf("blk=%#x %s sharers=%064b%064b%064b%064b", uint64(e.Block), kind,
+		e.Sharers.w[3], e.Sharers.w[2], e.Sharers.w[1], e.Sharers.w[0])
 }
 
 // AllocOutcome classifies the result of Directory.Allocate.

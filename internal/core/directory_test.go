@@ -45,14 +45,42 @@ func TestSharerSet(t *testing.T) {
 	if s.Count() != 2 {
 		t.Fatal("Remove not idempotent")
 	}
+
+	// Cores past the first 64-bit word.
+	s.Clear()
+	if !s.Empty() {
+		t.Fatal("Clear left residue")
+	}
+	for _, c := range []int{64, 127, 128, 255} {
+		s.Add(c)
+		if !s.Has(c) {
+			t.Fatalf("high core %d missing", c)
+		}
+	}
+	if s.Count() != 4 {
+		t.Fatalf("count = %d, want 4", s.Count())
+	}
+	seen = seen[:0]
+	s.ForEach(func(c int) { seen = append(seen, c) })
+	want = []int{64, 127, 128, 255}
+	for i := range want {
+		if seen[i] != want[i] {
+			t.Fatalf("high-word ForEach order %v, want %v", seen, want)
+		}
+	}
+	s.Clear()
+	s.Add(200)
+	if s.Only() != 200 {
+		t.Fatalf("Only() = %d, want 200", s.Only())
+	}
 }
 
 func TestSharerSetProperty(t *testing.T) {
-	f := func(adds []uint8) bool {
+	f := func(adds []uint16) bool {
 		var s SharerSet
 		ref := map[int]bool{}
 		for _, a := range adds {
-			c := int(a % MaxCores)
+			c := int(a) % MaxCores
 			if a%3 == 0 {
 				s.Remove(c)
 				delete(ref, c)

@@ -99,7 +99,7 @@ func (d *Stash) Allocate(b mem.Block, busy func(mem.Block) bool) AllocResult {
 	if v := d.store.victim(b, busy, true, d.stashableFn); v != nil {
 		stashed := Stashed{Block: v.Block, Owner: v.Sharers.Only()}
 		v.valid = false
-		v.Sharers = 0
+		v.Sharers.Clear()
 		v.Owned = false
 		d.store.install(v, b)
 		d.st.stashes.Inc()

@@ -122,6 +122,26 @@ type EventQueue struct {
 	wheel      [wheelSize]ring
 	wheelOcc   [wheelWords]uint64
 	wheelCount int
+
+	// slab seeds ring buffers: one allocation covers every bucket's
+	// initial buffer, so bringing a wheel up costs 1 allocation instead of
+	// wheelSize. This matters most to the parallel engine, which builds
+	// one EventQueue per tile per run.
+	slab []eventSlot
+}
+
+// ringSeed is the initial per-bucket ring capacity carved from the slab.
+// Must be a power of two (ring indexing masks by capacity).
+const ringSeed = 8
+
+// seedRing hands out one initial ring buffer from the queue's slab.
+func (q *EventQueue) seedRing() []eventSlot {
+	if len(q.slab) < ringSeed {
+		q.slab = make([]eventSlot, wheelSize*ringSeed)
+	}
+	buf := q.slab[:ringSeed:ringSeed]
+	q.slab = q.slab[ringSeed:]
+	return buf
 }
 
 // SetShuffleSeed switches same-cycle tie-breaking from FIFO to a
@@ -200,7 +220,11 @@ func (q *EventQueue) schedule(at Cycle, s eventSlot) {
 	}
 	if at-q.now < wheelSize {
 		b := int(at) & wheelMask
-		q.wheel[b].push(s)
+		r := &q.wheel[b]
+		if r.buf == nil {
+			r.buf = q.seedRing()
+		}
+		r.push(s)
 		q.wheelOcc[b>>6] |= 1 << (b & 63)
 		q.wheelCount++
 		return

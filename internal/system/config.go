@@ -6,6 +6,8 @@ package system
 
 import (
 	"fmt"
+	"sort"
+	"strings"
 
 	"repro/internal/cache"
 	"repro/internal/coherence"
@@ -30,7 +32,8 @@ func DirKinds() []string {
 // Config describes one simulation. Zero fields take defaults from
 // DefaultConfig; Validate reports impossible combinations.
 type Config struct {
-	// Cores must be one of 1, 2, 4, 8, 16, 32, 64 (mesh-tileable).
+	// Cores must be a mesh-tileable count from SupportedCores():
+	// 1, 2, 4, 8, 16, 32, 64, 128, or 256.
 	Cores int
 
 	// Directory organization and size. Coverage is directory entries
@@ -134,12 +137,37 @@ func QuickConfig(workload string) Config {
 var meshShapes = map[int][2]int{
 	1: {1, 1}, 2: {2, 1}, 4: {2, 2}, 8: {4, 2},
 	16: {4, 4}, 32: {8, 4}, 64: {8, 8},
+	128: {16, 8}, 256: {16, 16},
+}
+
+// SupportedCores lists the mesh-tileable core counts in ascending order.
+// Error messages and CLI help derive from it so they cannot drift from
+// meshShapes.
+func SupportedCores() []int {
+	out := make([]int, 0, len(meshShapes))
+	for c := range meshShapes { //stash:ignore determinism sorted before use
+		out = append(out, c)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// supportedCoresList renders SupportedCores for error messages.
+func supportedCoresList() string {
+	var b strings.Builder
+	for i, c := range SupportedCores() {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d", c)
+	}
+	return b.String()
 }
 
 // Validate checks the configuration (after defaulting).
 func (c *Config) Validate() error {
 	if _, ok := meshShapes[c.Cores]; !ok {
-		return fmt.Errorf("system: unsupported core count %d (want 1,2,4,8,16,32,64)", c.Cores)
+		return fmt.Errorf("system: unsupported core count %d (want %s)", c.Cores, supportedCoresList())
 	}
 	switch c.DirKind {
 	case DirFullMap, DirSparse, DirStash, DirStashSS, DirCuckoo:

@@ -47,9 +47,13 @@ func runParallel(cfg Config) (*Results, error) {
 		pf.EpochHook = epochSampler(sampler, pf.Root, procs, sim.Cycle(cfg.SamplePeriod))
 	}
 
-	if err := pf.Drive(procs, 0); err != nil {
+	driveErr := pf.Drive(procs, 0)
+	if srcErr := finishSources(procs); driveErr == nil && srcErr != nil {
+		driveErr = srcErr
+	}
+	if driveErr != nil {
 		return nil, fmt.Errorf("system: %s/%s cov=%.3g shards=%d: %w",
-			cfg.DirKind, cfg.WorkloadName(), cfg.Coverage, cfg.Shards, err)
+			cfg.DirKind, cfg.WorkloadName(), cfg.Coverage, cfg.Shards, driveErr)
 	}
 	return collect(cfg, pf.Root, procs, sampler, pf.Cycles(), pf.EventsRun()), nil
 }

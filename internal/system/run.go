@@ -2,6 +2,7 @@ package system
 
 import (
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/cache"
@@ -133,18 +134,37 @@ func Build(cfg Config) (*coherence.Fabric, []*coherence.Processor, error) {
 }
 
 // buildSources resolves the per-core access streams: synthetic generator
-// streams, or replayed trace files.
+// streams, or replayed trace files. Trace files are sniffed by magic:
+// binary traces replay zero-copy through an mmap-backed trace.BinarySource
+// (closed by finishSources after the run); text traces are parsed up front
+// into slices, so their format errors still surface at build time.
 func buildSources(cfg *Config) ([]coherence.AccessSource, error) {
 	sources := make([]coherence.AccessSource, cfg.Cores)
 	if len(cfg.TraceFiles) != 0 {
 		for i, path := range cfg.TraceFiles {
+			isBin, err := trace.IsBinaryTrace(path)
+			if err != nil {
+				closeSources(sources)
+				return nil, fmt.Errorf("system: trace file: %w", err)
+			}
+			if isBin {
+				src, err := trace.OpenBinary(path)
+				if err != nil {
+					closeSources(sources)
+					return nil, fmt.Errorf("system: %s: %w", path, err)
+				}
+				sources[i] = src
+				continue
+			}
 			f, err := os.Open(path)
 			if err != nil {
+				closeSources(sources)
 				return nil, fmt.Errorf("system: trace file: %w", err)
 			}
 			accs, err := trace.ParseAccesses(f)
 			f.Close()
 			if err != nil {
+				closeSources(sources)
 				return nil, fmt.Errorf("system: %s: %w", path, err)
 			}
 			sources[i] = &coherence.SliceSource{Accesses: accs}
@@ -165,6 +185,36 @@ func buildSources(cfg *Config) ([]coherence.AccessSource, error) {
 	return sources, nil
 }
 
+// closeSources releases any file-backed sources in a partially built
+// slice; build error paths use it so mmaps are not leaked.
+func closeSources(sources []coherence.AccessSource) {
+	for _, s := range sources {
+		if c, ok := s.(io.Closer); ok && c != nil {
+			c.Close()
+		}
+	}
+}
+
+// finishSources closes file-backed sources after a run and surfaces any
+// read error a streaming source deferred until replay (a binary trace that
+// went bad mid-stream ends the stream early rather than panicking; the
+// error lands here).
+func finishSources(procs []*coherence.Processor) error {
+	var first error
+	for _, p := range procs {
+		src := p.Source()
+		if e, ok := src.(interface{ Err() error }); ok && first == nil {
+			first = e.Err()
+		}
+		if c, ok := src.(io.Closer); ok {
+			if err := c.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	return first
+}
+
 // Run builds the machine for cfg, drives it to completion and returns the
 // collected results. It fails on configuration errors, deadlock, oracle
 // violations or audit failures. Shards > 0 routes through the parallel
@@ -183,8 +233,12 @@ func Run(cfg Config) (*Results, error) {
 		sampler.arm(fab, procs, sim.Cycle(cfg.SamplePeriod))
 	}
 
-	if err := fab.Drive(procs, 0); err != nil {
-		return nil, fmt.Errorf("system: %s/%s cov=%.3g: %w", cfg.DirKind, cfg.WorkloadName(), cfg.Coverage, err)
+	driveErr := fab.Drive(procs, 0)
+	if srcErr := finishSources(procs); driveErr == nil && srcErr != nil {
+		driveErr = srcErr
+	}
+	if driveErr != nil {
+		return nil, fmt.Errorf("system: %s/%s cov=%.3g: %w", cfg.DirKind, cfg.WorkloadName(), cfg.Coverage, driveErr)
 	}
 	return collect(cfg, fab, procs, sampler, fab.Engine.Now(), fab.Engine.EventsRun()), nil
 }
