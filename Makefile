@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: ci build test race vet lint lint-fast ignore-budget parallel-budget bench bench-engine bench-protocol bench-psim bench-trace bench-smoke bench-psim-smoke bench-trace-smoke race-psim race-fleet
+.PHONY: ci build test race vet lint lint-fast ignore-budget parallel-budget share-budget bench bench-engine bench-protocol bench-psim bench-trace bench-smoke bench-psim-smoke bench-trace-smoke race-psim race-fleet
 
 ci: lint race race-psim race-fleet bench-smoke bench-psim-smoke bench-trace-smoke bench-protocol
 
@@ -16,18 +16,24 @@ build:
 vet:
 	$(GO) vet ./...
 
-# lint is vet plus the repo's own analyzers (cmd/stashvet): pool
-# ownership (poolcheck), hot-path zero-alloc (hotpath), simulation
-# determinism (determinism), and the service-layer concurrency family —
-# lock discipline (lockcheck), cancellable blocking (ctxcheck), and
-# goroutine-send leaks (chanleak). A finding fails the build, as does an
-# ignore count above the committed budget.
-lint: vet ignore-budget parallel-budget
+# lint is vet plus the repo's own analyzers (cmd/stashvet), all eight:
+# pool ownership (poolcheck), hot-path zero-alloc (hotpath), simulation
+# determinism (determinism), the service-layer concurrency family — lock
+# discipline (lockcheck), cancellable blocking (ctxcheck), goroutine-send
+# leaks (chanleak), mixed atomic access (atomiccheck) — and parallel-
+# engine tile isolation (sharecheck). A finding fails the build, as does
+# any suppression or sanction count above its committed budget.
+lint: vet ignore-budget parallel-budget share-budget
 	$(GO) run ./cmd/stashvet ./...
 
 # lint-fast skips go vet: just the stashvet analyzers, for tight
 # edit-check loops. Use `go run ./cmd/stashvet -run=<name> ./...` to
-# narrow further to one analyzer.
+# narrow further to one analyzer. Fact recomputation is not skipped:
+# facts live in memory for one driver run (no on-disk fact cache), so
+# sharecheck/atomiccheck re-derive dependency summaries every time.
+# Measured cost of the whole facts layer is ~0.1s on this repo (see
+# DESIGN.md "Static analysis"), which is noise next to go vet — hence
+# lint-fast drops vet, not facts.
 lint-fast:
 	$(GO) run ./cmd/stashvet ./...
 
@@ -36,11 +42,11 @@ lint-fast:
 # (.stashvet-ignore-budget). Raising the budget is a reviewed change;
 # silently accreting suppressions is not.
 ignore-budget:
-	@count=$$(grep -rnE '^[^/"]*//stash:ignore (lockcheck|ctxcheck|chanleak)' --include='*.go' internal cmd 2>/dev/null | grep -v testdata | wc -l); \
+	@count=$$(grep -rnE '^[^/"]*//stash:ignore (lockcheck|ctxcheck|chanleak|sharecheck|atomiccheck)' --include='*.go' internal cmd 2>/dev/null | grep -v testdata | wc -l); \
 	budget=$$(cat .stashvet-ignore-budget); \
 	if [ "$$count" -gt "$$budget" ]; then \
 		echo "ignore-budget: $$count //stash:ignore escapes for concurrency analyzers exceed the budget of $$budget; fix the findings or review a budget raise in .stashvet-ignore-budget" >&2; \
-		grep -rnE '^[^/"]*//stash:ignore (lockcheck|ctxcheck|chanleak)' --include='*.go' internal cmd | grep -v testdata >&2; \
+		grep -rnE '^[^/"]*//stash:ignore (lockcheck|ctxcheck|chanleak|sharecheck|atomiccheck)' --include='*.go' internal cmd | grep -v testdata >&2; \
 		exit 1; \
 	fi
 
@@ -56,6 +62,21 @@ parallel-budget:
 	if [ "$$count" -gt "$$budget" ]; then \
 		echo "parallel-budget: $$count //stash:parallel sanctions exceed the budget of $$budget; every new worker spawn in simulation code is a reviewed change (.stashvet-parallel-budget)" >&2; \
 		grep -rnE '^[^/"]*//stash:parallel ' --include='*.go' --exclude='*_test.go' internal cmd | grep -v testdata >&2; \
+		exit 1; \
+	fi
+
+# share-budget bounds sharecheck's mediation vocabulary: every
+# //stash:fold sanction and //stash:shared classification carries a
+# reason and counts against the committed baseline
+# (.stashvet-share-budget). Tile-owned state is the unbudgeted default;
+# declaring state shared or a function a mediation point widens the
+# trust boundary, so growth is a reviewed change.
+share-budget:
+	@count=$$(grep -rnE '^[^/"]*//stash:(fold|shared) ' --include='*.go' --exclude='*_test.go' internal cmd 2>/dev/null | grep -v testdata | wc -l); \
+	budget=$$(cat .stashvet-share-budget); \
+	if [ "$$count" -gt "$$budget" ]; then \
+		echo "share-budget: $$count //stash:fold + //stash:shared sanctions exceed the budget of $$budget; every new shared alias or mediation point in simulation code is a reviewed change (.stashvet-share-budget)" >&2; \
+		grep -rnE '^[^/"]*//stash:(fold|shared) ' --include='*.go' --exclude='*_test.go' internal cmd | grep -v testdata >&2; \
 		exit 1; \
 	fi
 

@@ -13,17 +13,24 @@
 //	             parameter lists and never stored in structs
 //	chanleak     goroutine sends on locally-made channels need proven
 //	             buffer capacity or a guaranteed receiver
+//	sharecheck   tile isolation in the parallel engine: worker-reachable
+//	             code writes only //stash:tileowned state; //stash:shared
+//	             state is read-only unless mediated by a //stash:fold
+//	atomiccheck  a field touched by function-style sync/atomic anywhere
+//	             must be atomic everywhere (service layer)
 //
 // Usage:
 //
-//	stashvet [-run=analyzer[,analyzer]] [packages]
+//	stashvet [-run=analyzer[,analyzer]] [-json] [packages]
 //
 // With no arguments it checks ./... from the enclosing module root. -run
 // restricts the pass to a subset of analyzers by name; an unknown name is a
-// usage error (exit 2). Exit status is 1 if any diagnostic was reported, 2
-// on a load failure. Diagnostics are suppressed by an adjacent
-// "//stash:ignore <analyzer> <reason>" comment; see DESIGN.md's "Static
-// analysis" section.
+// usage error (exit 2). -json emits one diagnostic per line as NDJSON
+// ({file, line, col, analyzer, message, suppressed}), including suppressed
+// findings flagged as such; the exit code is unchanged. Exit status is 1 if
+// any unsuppressed diagnostic was reported, 2 on a load failure.
+// Diagnostics are suppressed by an adjacent "//stash:ignore <analyzer>
+// <reason>" comment; see DESIGN.md's "Static analysis" section.
 package main
 
 import (
@@ -32,12 +39,14 @@ import (
 	"os"
 
 	"repro/internal/analysis"
+	"repro/internal/analysis/atomiccheck"
 	"repro/internal/analysis/chanleak"
 	"repro/internal/analysis/ctxcheck"
 	"repro/internal/analysis/determinism"
 	"repro/internal/analysis/hotpath"
 	"repro/internal/analysis/lockcheck"
 	"repro/internal/analysis/poolcheck"
+	"repro/internal/analysis/sharecheck"
 )
 
 var analyzers = []*analysis.Analyzer{
@@ -47,9 +56,14 @@ var analyzers = []*analysis.Analyzer{
 	lockcheck.Analyzer,
 	ctxcheck.Analyzer,
 	chanleak.Analyzer,
+	sharecheck.Analyzer,
+	atomiccheck.Analyzer,
 }
 
-var runFlag = flag.String("run", "", "comma-separated analyzer names to run (default: all)")
+var (
+	runFlag  = flag.String("run", "", "comma-separated analyzer names to run (default: all)")
+	jsonFlag = flag.Bool("json", false, "emit NDJSON diagnostics (one per line, suppressed findings included)")
+)
 
 func main() {
 	flag.Usage = usage
@@ -59,11 +73,14 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	if *jsonFlag {
+		os.Exit(analysis.MainJSON(os.Stdout, selected, flag.Args()))
+	}
 	os.Exit(analysis.Main(os.Stdout, selected, flag.Args()))
 }
 
 func usage() {
-	fmt.Fprintf(os.Stderr, "usage: stashvet [-run=analyzer[,analyzer]] [packages]\n\nanalyzers:\n")
+	fmt.Fprintf(os.Stderr, "usage: stashvet [-run=analyzer[,analyzer]] [-json] [packages]\n\nanalyzers:\n")
 	for _, a := range analyzers {
 		fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, a.Doc)
 	}

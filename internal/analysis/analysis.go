@@ -11,11 +11,17 @@
 //   - whole-module loading with full type information (internal/analysis/load),
 //   - per-package passes with access to the syntax and types of every other
 //     package loaded alongside (for cross-package //stash: annotations),
+//   - a cross-package facts layer (facts.go): analyzers that declare
+//     FactTypes run over every applicable package in dependency order and
+//     attach typed facts to objects and packages; passes over importing
+//     packages read them back. This is what makes the interprocedural
+//     analyzers (sharecheck, atomiccheck) possible without SSA: each pass
+//     exports per-function summaries, and callers consume them.
 //   - //stash:ignore suppression with a mandatory reason,
 //   - an analysistest-style fixture harness (internal/analysis/analysistest).
 //
-// There are no facts, no SSA and no suggested fixes; analyzers are expected
-// to be intraprocedural over the AST plus go/types.
+// There is still no SSA and there are no suggested fixes; analyzers work
+// over the AST plus go/types, with facts as the interprocedural vocabulary.
 package analysis
 
 import (
@@ -39,6 +45,16 @@ type Analyzer struct {
 	// itself to the simulation packages while leaving the runner/stashd
 	// service layer alone. A nil AppliesTo runs everywhere.
 	AppliesTo func(pkgPath string) bool
+
+	// FactTypes declares the fact types this analyzer exports and imports
+	// (each entry a pointer to the zero value, e.g. new(foundFact)). A
+	// non-empty FactTypes changes the driver's schedule: the analyzer runs
+	// over every applicable module package in dependency order — including
+	// packages loaded only as dependencies — so facts exported while
+	// analyzing an imported package are available to its importers.
+	// Diagnostics from dependency-only packages are discarded; only target
+	// packages report.
+	FactTypes []Fact
 
 	// Run executes the check over one package.
 	Run func(*Pass) error
@@ -70,6 +86,11 @@ type Pass struct {
 
 	// Report delivers one diagnostic.
 	Report func(Diagnostic)
+
+	// facts is the analyzer's run-wide fact store, non-nil exactly when the
+	// analyzer declares FactTypes. Accessed through the fact methods in
+	// facts.go.
+	facts *factSet
 }
 
 // Diagnostic is one finding.

@@ -1,0 +1,13 @@
+package atomiccheck_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/atomiccheck"
+)
+
+func TestAtomiccheck(t *testing.T) {
+	analysistest.Run(t, atomiccheck.Analyzer,
+		"./src/internal/runner", "./src/internal/fleet")
+}

@@ -1,0 +1,17 @@
+// Package fleet is a fixture importer mixing accesses across packages:
+// both directions of the all-or-nothing rule are cross-package here.
+package fleet
+
+import (
+	"sync/atomic"
+
+	"fixture/src/internal/runner"
+)
+
+// Collect drains metrics the wrong way twice over: a bare write to a
+// counter runner accesses atomically, and an atomic read of a counter
+// runner writes bare.
+func Collect(m *runner.Metrics, d *runner.Drops) int64 {
+	m.Hits = 0                        // want `bare write to runner\.Hits`
+	return atomic.LoadInt64(&d.Count) // want `atomic\.LoadInt64 of runner\.Count`
+}

@@ -1,0 +1,34 @@
+// Package runner is a fixture service-layer metrics holder.
+package runner
+
+import "sync/atomic"
+
+// Metrics counts work both ways: Hits and queued go through sync/atomic,
+// typed is an atomic.Int64 (safe by construction).
+type Metrics struct {
+	Hits   int64
+	queued int64
+	typed  atomic.Int64
+}
+
+// Inc is the atomic path.
+func (m *Metrics) Inc() {
+	atomic.AddInt64(&m.Hits, 1)
+	atomic.AddInt64(&m.queued, 1)
+}
+
+// Reset mixes a bare write in.
+func (m *Metrics) Reset() {
+	m.queued = 0 // want `bare write to runner\.queued`
+	m.queued = 1 //stash:ignore atomiccheck fixture demonstrates the budgeted escape hatch
+	m.typed.Store(0)
+}
+
+// Drops is written bare only; its exported counter must stay bare
+// everywhere, including in importers.
+type Drops struct {
+	Count int64
+}
+
+// Add is the bare path.
+func (d *Drops) Add() { d.Count++ }

@@ -53,6 +53,25 @@ const (
 	// doc comment covers its whole body; on a statement's line it covers
 	// that operation.
 	DirectiveBlocking = "blocking"
+	// DirectiveTileOwned classifies a struct field — or, on a type
+	// declaration, every field of the struct — as per-tile (per-LP, per-
+	// worker) state in the parallel engine: owned by exactly one tile's
+	// worker during an epoch and therefore freely writable from
+	// tile-worker-reachable code. Enforced by the sharecheck analyzer.
+	DirectiveTileOwned = "tileowned"
+	// DirectiveShared classifies a struct field, type, or package variable
+	// as shared across tiles: "//stash:shared <reason>". Shared state is
+	// read-only while workers run; any write reachable from the worker loop
+	// is a finding unless it happens inside a //stash:fold mediator. The
+	// reason — why aliasing this across tiles is safe — is mandatory.
+	DirectiveShared = "shared"
+	// DirectiveFold marks a function as a sanctioned mediation point:
+	// "//stash:fold <reason>". The function runs only while the tiles are
+	// quiescent (construction, the serial engine, or the epoch barrier on
+	// the driver with every worker parked), so its writes to shared state
+	// are exempt and sharecheck's worker-reachability closure does not
+	// descend into it. The reason is mandatory and budgeted by make lint.
+	DirectiveFold = "fold"
 	// DirectiveParallel sanctions a goroutine spawn inside the parallel
 	// engine: "//stash:parallel <reason>" on the go statement's line or the
 	// line above it. The determinism analyzer honors it only in

@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"encoding/json"
 	"fmt"
 	"go/ast"
 	"go/token"
@@ -12,11 +13,14 @@ import (
 )
 
 // Finding is one resolved diagnostic: position plus the analyzer that
-// produced it.
+// produced it. Suppressed marks findings covered by a //stash:ignore
+// directive; they are withheld from the default output and the exit code
+// but surface in -json mode so CI can audit what the escapes are hiding.
 type Finding struct {
-	Position token.Position
-	Analyzer string
-	Message  string
+	Position   token.Position
+	Analyzer   string
+	Message    string
+	Suppressed bool
 }
 
 func (f Finding) String() string {
@@ -36,27 +40,62 @@ func RunPatterns(dir string, patterns []string, analyzers []*Analyzer) ([]Findin
 	return RunLoaded(res, analyzers)
 }
 
-// RunLoaded runs the analyzers over an already-loaded result. The
-// analysistest harness uses it to share the suppression and reporting logic
-// with the command-line driver.
+// RunLoaded runs the analyzers over an already-loaded result, returning the
+// surviving (unsuppressed) findings. The analysistest harness uses it to
+// share the suppression and reporting logic with the command-line driver.
 func RunLoaded(res *load.Result, analyzers []*Analyzer) ([]Finding, error) {
+	all, err := RunLoadedDetail(res, analyzers)
+	if err != nil {
+		return nil, err
+	}
+	out := all[:0]
+	for _, f := range all {
+		if !f.Suppressed {
+			out = append(out, f)
+		}
+	}
+	return out, nil
+}
+
+// RunLoadedDetail is RunLoaded including the suppressed findings, each
+// flagged Suppressed — the feed for stashvet -json.
+//
+// Scheduling: packages are visited in the loader's dependency order
+// (dependencies before dependents). An analyzer without FactTypes runs only
+// on target packages, as before. An analyzer with FactTypes additionally
+// runs on every dependency-only module package it applies to, with its
+// diagnostics discarded, so its facts are complete by the time the targets
+// are analyzed.
+func RunLoadedDetail(res *load.Result, analyzers []*Analyzer) ([]Finding, error) {
 	universe := make([]*PackageInfo, 0, len(res.Packages))
 	for _, p := range res.Packages {
 		universe = append(universe, &PackageInfo{Pkg: p.Types, Files: p.Files, Info: p.Info})
 	}
+	facts := map[*Analyzer]*factSet{}
+	for _, a := range analyzers {
+		if len(a.FactTypes) > 0 {
+			facts[a] = newFactSet(a)
+		}
+	}
 
 	var findings []Finding
 	for _, p := range res.Packages {
-		if !p.Target {
-			continue
-		}
-		sup := newSuppressions(res.Fset, p.Files)
+		var sup *suppressions
 		ran := map[string]bool{}
+		if p.Target {
+			sup = newSuppressions(res.Fset, p.Files)
+		}
 		for _, a := range analyzers {
 			if a.AppliesTo != nil && !a.AppliesTo(p.PkgPath) {
 				continue
 			}
-			ran[a.Name] = true
+			if !p.Target && facts[a] == nil {
+				continue
+			}
+			target := p.Target
+			if target {
+				ran[a.Name] = true
+			}
 			pass := &Pass{
 				Analyzer:  a,
 				Fset:      res.Fset,
@@ -64,19 +103,27 @@ func RunLoaded(res *load.Result, analyzers []*Analyzer) ([]Finding, error) {
 				Files:     p.Files,
 				TypesInfo: p.Info,
 				Universe:  universe,
+				facts:     facts[a],
 				Report: func(d Diagnostic) {
-					pos := res.Fset.Position(d.Pos)
-					if sup.suppresses(a.Name, pos) {
+					if !target {
 						return
 					}
-					findings = append(findings, Finding{Position: pos, Analyzer: a.Name, Message: d.Message})
+					pos := res.Fset.Position(d.Pos)
+					findings = append(findings, Finding{
+						Position:   pos,
+						Analyzer:   a.Name,
+						Message:    d.Message,
+						Suppressed: sup.suppresses(a.Name, pos),
+					})
 				},
 			}
 			if err := a.Run(pass); err != nil {
 				return nil, fmt.Errorf("%s: %s: %v", a.Name, p.PkgPath, err)
 			}
 		}
-		findings = append(findings, sup.problems(ran)...)
+		if p.Target {
+			findings = append(findings, sup.problems(ran)...)
+		}
 	}
 
 	sort.Slice(findings, func(i, j int) bool {
@@ -128,24 +175,64 @@ func Filter(analyzers []*Analyzer, sel string) ([]*Analyzer, error) {
 // Main is the cmd/stashvet entry point: run the analyzers over the patterns
 // (default ./...) and print findings. It returns the process exit code.
 func Main(out io.Writer, analyzers []*Analyzer, args []string) int {
+	return mainRun(out, analyzers, false, args)
+}
+
+// MainJSON is Main with NDJSON output: one diagnostic per line, suppressed
+// findings included and flagged, so CI can annotate PRs. The exit code is
+// unchanged from Main — only unsuppressed findings fail the run.
+func MainJSON(out io.Writer, analyzers []*Analyzer, args []string) int {
+	return mainRun(out, analyzers, true, args)
+}
+
+// jsonFinding is the stable -json line schema.
+type jsonFinding struct {
+	File       string `json:"file"`
+	Line       int    `json:"line"`
+	Col        int    `json:"col"`
+	Analyzer   string `json:"analyzer"`
+	Message    string `json:"message"`
+	Suppressed bool   `json:"suppressed"`
+}
+
+func mainRun(out io.Writer, analyzers []*Analyzer, jsonOut bool, args []string) int {
 	patterns := args
 	root, err := load.ModuleDir(".")
 	if err != nil {
 		fmt.Fprintln(out, err)
 		return 2
 	}
-	findings, err := RunPatterns(root, patterns, analyzers)
+	res, err := load.Load(root, patterns)
 	if err != nil {
 		fmt.Fprintln(out, err)
 		return 2
 	}
+	findings, err := RunLoadedDetail(res, analyzers)
+	if err != nil {
+		fmt.Fprintln(out, err)
+		return 2
+	}
+	exit := 0
+	enc := json.NewEncoder(out)
 	for _, f := range findings {
-		fmt.Fprintln(out, f)
+		switch {
+		case jsonOut:
+			enc.Encode(jsonFinding{
+				File:       f.Position.Filename,
+				Line:       f.Position.Line,
+				Col:        f.Position.Column,
+				Analyzer:   f.Analyzer,
+				Message:    f.Message,
+				Suppressed: f.Suppressed,
+			})
+		case !f.Suppressed:
+			fmt.Fprintln(out, f)
+		}
+		if !f.Suppressed {
+			exit = 1
+		}
 	}
-	if len(findings) > 0 {
-		return 1
-	}
-	return 0
+	return exit
 }
 
 // suppression is one parsed //stash:ignore directive.

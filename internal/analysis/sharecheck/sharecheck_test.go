@@ -1,0 +1,13 @@
+package sharecheck_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/sharecheck"
+)
+
+func TestSharecheck(t *testing.T) {
+	analysistest.Run(t, sharecheck.Analyzer,
+		"./src/internal/noc", "./src/internal/psim", "./src/internal/coherence")
+}

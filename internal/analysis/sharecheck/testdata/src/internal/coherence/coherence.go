@@ -1,0 +1,67 @@
+// Package coherence is a fixture controller layer: handlers become
+// worker-reachable by escaping — bound into an interface, bound into a
+// func-typed field at construction, or address-taken across packages.
+package coherence
+
+import "fixture/src/internal/noc"
+
+// Endpoint receives deliveries; anything bound into it may be scheduled.
+type Endpoint interface {
+	Deliver(x int)
+}
+
+// Bank is per-tile.
+//
+//stash:tileowned
+type Bank struct {
+	id     int
+	served int
+}
+
+// Deliver implements Endpoint. Wire binds a *Bank into the interface, so
+// this body is tile-worker-reachable.
+func (b *Bank) Deliver(x int) {
+	b.served++    // tileowned: freely writable
+	stats.total++ // want `write to unclassified coherence\.total`
+}
+
+// stats is package state nobody classified.
+var stats struct{ total int }
+
+// Wire attaches bank b as an endpoint; the method-set binding makes
+// Deliver reachable.
+func Wire(m map[int]Endpoint, b *Bank) {
+	m[0] = b
+}
+
+// pump binds its own method into a func field at construction — the
+// hoisted-closure handler idiom.
+//
+//stash:tileowned
+type pump struct {
+	fn func()
+	n  int
+}
+
+// newPump wires the callback.
+func newPump() *pump {
+	p := &pump{}
+	p.fn = p.tick
+	return p
+}
+
+func (p *pump) tick() {
+	p.n++      // tileowned: freely writable
+	shared = 1 // want `write to //stash:shared coherence\.shared`
+}
+
+// shared is aliased across tiles.
+//
+//stash:shared fixture: every tile sees one flag
+var shared int
+
+// handles leaks an imported method value whose summary says it writes
+// non-tile-owned state; the escape is reported here, at the leak site.
+func handles(m *noc.Mesh) func(int, uint64) uint64 {
+	return m.Send // want `noc\.\(Mesh\)\.Send address-taken writes non-tile-owned state`
+}

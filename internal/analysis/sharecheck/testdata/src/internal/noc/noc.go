@@ -1,0 +1,33 @@
+// Package noc is a fixture modeling the shared mesh spine: one structure
+// aliased by every tile, mutable only on the serial path or at the merge.
+package noc
+
+// Mesh is the one spine aliased by every tile view.
+//
+//stash:shared one spine aliased by every tile view
+type Mesh struct {
+	linkFree []uint64
+	count    int
+}
+
+// Send routes inline, reserving the link. Serial engine only; its effect
+// summary (writes to shared state) travels to importers as a fact.
+func (m *Mesh) Send(link int, at uint64) uint64 {
+	if m.linkFree[link] > at {
+		at = m.linkFree[link]
+	}
+	m.linkFree[link] = at + 1
+	m.count++
+	return at
+}
+
+// ReserveRoute replays a send at the epoch merge.
+//
+//stash:fold runs at the epoch merge with every worker parked
+func (m *Mesh) ReserveRoute(link int, at uint64) uint64 {
+	if m.linkFree[link] > at {
+		at = m.linkFree[link]
+	}
+	m.linkFree[link] = at + 1
+	return at
+}

@@ -1,0 +1,54 @@
+// Package psim is a fixture parallel engine: Run spawns workers, so
+// everything reachable from the worker loop is tile-worker context.
+package psim
+
+import "fixture/src/internal/noc"
+
+// Engine drives the workers.
+type Engine struct {
+	mesh *noc.Mesh
+	//stash:shared epoch grid is fixed before workers start
+	lookahead uint64
+	epochs    int
+}
+
+// worker owns a block of tiles.
+//
+//stash:tileowned
+type worker struct {
+	eng   *Engine
+	steps uint64
+	now   uint64
+}
+
+// tally is per-run bookkeeping nobody classified.
+type tally struct {
+	flits int
+}
+
+var global tally
+
+// Run spawns one goroutine per worker and folds at the barrier.
+func (e *Engine) Run(nw int) {
+	for i := 0; i < nw; i++ {
+		w := &worker{eng: e}
+		go w.loop()
+	}
+	e.fold()
+}
+
+func (w *worker) loop() {
+	w.steps++                                 // tileowned: freely writable
+	w.now = w.eng.mesh.Send(0, w.now)         // want `call to noc\.\(Mesh\)\.Send from tile-worker-reachable code`
+	w.now = w.eng.mesh.ReserveRoute(0, w.now) // fold mediator: exempt
+	w.eng.lookahead = 8                       // want `write to //stash:shared psim\.lookahead`
+	global.flits++                            // want `write to unclassified psim\.flits`
+	w.eng.lookahead = 9                       //stash:ignore sharecheck fixture demonstrates the budgeted escape hatch
+}
+
+// fold runs with every worker parked, so its writes are mediated.
+//
+//stash:fold drains mailboxes at the barrier with every worker parked
+func (e *Engine) fold() {
+	e.epochs++
+}

@@ -16,6 +16,8 @@ import (
 // Line is one cache way: a tag plus the simulator-visible metadata.
 // The coherence controllers interpret State and Flags; Data carries the
 // 64-bit payload used by the data-value correctness oracle.
+//
+//stash:tileowned
 type Line struct {
 	Block mem.Block
 	State mem.State
@@ -56,6 +58,8 @@ type Config struct {
 
 // Cache is a set-associative tag array. It is purely a storage structure:
 // all coherence semantics live in the controllers that own it.
+//
+//stash:tileowned
 type Cache struct {
 	cfg    Config
 	lines  []Line // sets*ways, set-major

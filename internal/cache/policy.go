@@ -83,6 +83,8 @@ func newPolicy(kind PolicyKind, sets, ways int, seed int64) (Policy, error) {
 // lruPolicy keeps an exact recency order per set: stamps[set*ways+way]
 // holds a monotonically increasing use time; the victim is the smallest
 // stamp among non-excluded ways.
+//
+//stash:tileowned
 type lruPolicy struct {
 	ways   int
 	clock  uint64
@@ -122,6 +124,8 @@ func (p *lruPolicy) Victim(set int, excluded func(way int) bool) int {
 // power of two internally; phantom ways are never returned because Victim
 // falls back to scanning when the tree points at an out-of-range or
 // excluded way.
+//
+//stash:tileowned
 type plruPolicy struct {
 	ways     int
 	treeWays int // ways rounded up to a power of two
@@ -189,6 +193,8 @@ func (p *plruPolicy) Victim(set int, excluded func(way int) bool) int {
 // victim is the first way with a clear bit, and when all bits are set they
 // are cleared (except the just-touched way's semantics are approximated by
 // clearing all).
+//
+//stash:tileowned
 type nruPolicy struct {
 	ways int
 	bits []bool
@@ -239,6 +245,8 @@ func (p *nruPolicy) Victim(set int, excluded func(way int) bool) int {
 
 // randomPolicy picks a uniformly random non-excluded way using a seeded
 // generator, so runs remain reproducible.
+//
+//stash:tileowned
 type randomPolicy struct {
 	ways int
 	rng  *rand.Rand

@@ -50,6 +50,8 @@ const (
 // and discovery replies) are routed straight to the TBE. TBEs are pooled
 // and hold no closures: the request's fields are copied in at start and
 // the pending continuation is a tbeCont.
+//
+//stash:tileowned
 type dirTBE struct {
 	block mem.Block
 
@@ -88,6 +90,8 @@ type dirTBE struct {
 // Bank is one tile's slice of the shared machinery: an inclusive LLC bank,
 // the co-located directory slice, and the controller that runs coherence
 // transactions for the blocks interleaved onto it.
+//
+//stash:tileowned
 type Bank struct {
 	id  int
 	fab *Fabric

@@ -10,6 +10,8 @@ import "repro/internal/mem"
 //
 // Deletion uses backward-shift compaction (no tombstones), so the load
 // factor stays honest no matter how much churn the protocol produces.
+//
+//stash:tileowned
 type blockTable[V any] struct {
 	keys  []mem.Block
 	vals  []V

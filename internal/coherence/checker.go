@@ -17,6 +17,8 @@ import (
 //
 // The checker is cheap (two map operations per access) and stays enabled in
 // all tests; production-scale benchmark runs may disable it.
+//
+//stash:tileowned (parallel runs give each tile view a strided checker; see NewStridedChecker)
 type Checker struct {
 	enabled    bool
 	oracle     map[mem.Block]uint64

@@ -30,6 +30,8 @@ type pendingAccess struct {
 // l1TBE tracks one outstanding demand miss (one MSHR). TBEs are pooled:
 // the waiters slice keeps its capacity across reuses, so steady-state
 // coalescing does not allocate.
+//
+//stash:tileowned
 type l1TBE struct {
 	block   mem.Block
 	write   bool
@@ -57,6 +59,8 @@ type evictBuf struct {
 // accesses behind an in-flight miss, and answers directory-initiated
 // traffic at any time — including for blocks parked in its eviction
 // buffers — which is what keeps the protocol deadlock-free.
+//
+//stash:tileowned
 type L1 struct {
 	id  int
 	fab *Fabric

@@ -9,6 +9,8 @@ import (
 // latency (imposed by the banks via the engine) and access counting for the
 // energy model. Reads of never-written blocks return zero, matching the
 // value oracle's initial state.
+//
+//stash:tileowned (each parallel tile view gets its own Memory, folded after the run)
 type Memory struct {
 	values map[mem.Block]uint64
 

@@ -153,6 +153,8 @@ const (
 )
 
 // Msg is a protocol message; it travels as the payload of a noc.Message.
+//
+//stash:tileowned
 type Msg struct {
 	Type  MsgType
 	Block mem.Block
@@ -196,6 +198,8 @@ type Msg struct {
 // Ownership discipline: the sender acquires, the final receiver releases —
 // at the end of its deliver handler, or when a queued request is dequeued
 // and its fields copied into the transaction's TBE.
+//
+//stash:tileowned
 type msgPool struct {
 	freeList []*Msg
 	inUse    int

@@ -32,6 +32,8 @@ import (
 
 // parcel is one cross-tile protocol message parked for the epoch merge:
 // everything the merge needs to replay the send against the mesh.
+//
+//stash:tileowned
 type parcel struct {
 	dst   noc.NodeID
 	class noc.Class
@@ -42,6 +44,8 @@ type parcel struct {
 // tileLocal is a tile view's private transport state: the self-delivery
 // path (messages a tile sends to itself never cross the merge) and the
 // tile's share of the mesh statistics, folded into the mesh after the run.
+//
+//stash:tileowned
 type tileLocal struct {
 	eng       *sim.Engine
 	ep        *tile

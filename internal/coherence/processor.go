@@ -15,6 +15,8 @@ type AccessSource interface {
 }
 
 // SliceSource is an AccessSource over a fixed slice.
+//
+//stash:tileowned
 type SliceSource struct {
 	Accesses []mem.Access
 	pos      int
@@ -37,6 +39,8 @@ func (s *SliceSource) Next() (mem.Access, bool) {
 // cycle between accesses. With more MSHRs it issues up to that many
 // accesses concurrently (one per think interval), modeling stall-on-use
 // memory-level parallelism.
+//
+//stash:tileowned
 type Processor struct {
 	id          int
 	fab         *Fabric

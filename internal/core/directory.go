@@ -40,6 +40,8 @@ const sharerWords = MaxCores / 64
 
 // SharerSet is a full-map sharer bit vector: bit i set means core i holds a
 // copy. The zero value is the empty set.
+//
+//stash:tileowned
 type SharerSet struct {
 	w [sharerWords]uint64
 }
@@ -106,6 +108,8 @@ func (s SharerSet) ForEach(fn func(core int)) {
 // Entry is one directory entry: which cores hold block Block and whether a
 // single core owns it exclusively (MESI E or M; the directory does not
 // distinguish the two, as silent E→M upgrades are invisible to it).
+//
+//stash:tileowned
 type Entry struct {
 	Block   mem.Block
 	Sharers SharerSet

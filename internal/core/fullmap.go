@@ -11,6 +11,8 @@ import (
 // no conflicts, no evictions. It serves as the performance upper bound in
 // the coverage-sweep experiments and as the correctness reference in the
 // differential protocol tests.
+//
+//stash:tileowned
 type FullMap struct {
 	entries map[mem.Block]*Entry
 

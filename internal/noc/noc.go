@@ -63,6 +63,8 @@ func (c Class) String() string {
 
 // Message is one network transfer. Payload is opaque to the NoC; the
 // coherence package stores its protocol messages there.
+//
+//stash:tileowned
 type Message struct {
 	Src, Dst NodeID
 	Class    Class
@@ -102,6 +104,12 @@ func DefaultConfig(width, height int) Config {
 }
 
 // Mesh is the interconnect instance.
+//
+// In a parallel run there is exactly one Mesh, aliased by every tile view;
+// its mutable state (link reservations, the envelope pool) is touched only
+// in fold context — the serial engine, or the epoch merge via ReserveRoute.
+//
+//stash:shared one spine aliased by every tile view; mutated only in fold context
 type Mesh struct {
 	cfg       Config
 	engine    *sim.Engine
@@ -157,6 +165,7 @@ func New(engine *sim.Engine, cfg Config) (*Mesh, error) {
 // deliver hands an arrived message to its destination endpoint and recycles
 // a pooled envelope.
 //
+//stash:fold serial-engine delivery path; parallel tiles deliver via tileLocal, never through the mesh
 //stash:hotpath
 func (m *Mesh) deliver(arg any) {
 	msg := arg.(*Message)
@@ -169,6 +178,7 @@ func (m *Mesh) deliver(arg any) {
 
 // getMessage draws an envelope from the free list.
 //
+//stash:fold serial-engine send path; parallel tiles draw envelopes from their tileLocal pool
 //stash:acquire
 //stash:hotpath
 func (m *Mesh) getMessage() *Message {
@@ -182,6 +192,7 @@ func (m *Mesh) getMessage() *Message {
 
 // putMessage returns a pooled envelope to the free list.
 //
+//stash:fold serial-engine delivery path; parallel tiles recycle envelopes tile-locally
 //stash:release
 //stash:hotpath
 func (m *Mesh) putMessage(msg *Message) {
@@ -250,6 +261,7 @@ func abs(v int) int {
 // (src, dst, flits, now) inputs, which is what makes the parallel engine's
 // deferred replay timing-equivalent to the serial engine's inline send.
 //
+//stash:fold called only from Send (serial engine) and ReserveRoute (epoch merge, workers parked)
 //stash:hotpath
 func (m *Mesh) route(src, dst NodeID, class Class, flits int, now sim.Cycle) sim.Cycle {
 	t := now + m.cfg.RouterLatency // injection through the local router
@@ -293,6 +305,7 @@ func (m *Mesh) route(src, dst NodeID, class Class, flits int, now sim.Cycle) sim
 // router latency only (local turnaround), with no link traffic. The mesh
 // owns msg until the destination endpoint's Deliver runs.
 //
+//stash:fold serial engine only; parallel sends park in tile mailboxes and replay through ReserveRoute
 //stash:transfer
 //stash:hotpath
 func (m *Mesh) Send(msg *Message) sim.Cycle {
@@ -316,6 +329,7 @@ func (m *Mesh) Send(msg *Message) sim.Cycle {
 // link contention resolves exactly as if the sends had been routed inline
 // in that order.
 //
+//stash:fold runs at the epoch merge with every worker parked at the barrier
 //stash:hotpath
 func (m *Mesh) ReserveRoute(src, dst NodeID, class Class, flits int, sent sim.Cycle) sim.Cycle {
 	if flits < 1 {
@@ -344,6 +358,8 @@ func (m *Mesh) MinHopLatency() sim.Cycle { return m.cfg.MinHopLatency() }
 // folds it into the mesh statistics at end of run; every self delivery has
 // the same latency (the router turnaround), so a count is a sufficient
 // statistic for the latency histogram.
+//
+//stash:tileowned
 type LocalTraffic struct {
 	Msgs      [NumClasses]int64
 	Delivered int64

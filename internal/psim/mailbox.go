@@ -10,6 +10,8 @@ package psim
 // Only the owning LP pushes and only the barrier-holding driver drains, so
 // the mailbox needs no internal synchronization — the epoch barrier is the
 // synchronization.
+//
+//stash:tileowned
 type Mailbox[T any] struct {
 	buf  []entry[T]
 	head int

@@ -90,6 +90,8 @@ type Engine struct {
 // worker owns a contiguous block of LPs and steps them through one epoch
 // at a time. next/has cache each LP's earliest event time so the inner
 // loop's min scan does not re-query drained queues.
+//
+//stash:tileowned
 type worker struct {
 	eng     *Engine
 	engines []*sim.Engine

@@ -43,6 +43,8 @@ func (a heapEntry) less(b heapEntry) bool {
 // ring is a growable power-of-two circular FIFO of events all due at one
 // cycle. Storage is reused across cycles, so steady-state pushes do not
 // allocate.
+//
+//stash:tileowned
 type ring struct {
 	buf  []eventSlot
 	head int
@@ -105,6 +107,8 @@ const (
 // psim run one EventQueue per tile and still define a total event order
 // (cycle, tile, sequence) that is independent of how tiles are grouped
 // into worker shards.
+//
+//stash:tileowned
 type EventQueue struct {
 	now     Cycle
 	seq     uint64

@@ -46,6 +46,8 @@ type Event func()
 // loop, tracing and event accounting on top of the embedded EventQueue
 // (which contributes Now, Pending, At/After and their Arg forms,
 // NextEventTime and SetShuffleSeed).
+//
+//stash:tileowned
 type Engine struct {
 	EventQueue
 

@@ -181,6 +181,8 @@ func IsBinaryTrace(path string) (bool, error) {
 // in batches with zero allocations per access. The fast path serves whole
 // files mapped (or held) in memory; the io.ReaderAt fallback streams chunks
 // through a fixed window buffer, so either way Next never allocates.
+//
+//stash:tileowned
 type BinarySource struct {
 	// data is the decode window: the whole payload in mapped/bytes mode, a
 	// sliding chunk in ReaderAt mode.

@@ -39,12 +39,19 @@ const (
 	memoBudget = 1 << 22
 )
 
-var memo struct {
+// memoCache is the process-wide trace cache. It is deliberately global —
+// every fabric in the process replays the same workloads — and therefore
+// shared across parallel tiles; the embedded mutex serializes access.
+//
+//stash:shared process-wide cache guarded by its embedded Mutex; replayed content is identical to generated content
+type memoCache struct {
 	sync.Mutex
 	traces map[streamKey][]mem.Access
 	order  []streamKey // insertion order, for FIFO eviction
 	held   int         // total accesses currently cached
 }
+
+var memo memoCache
 
 // memoLookup returns the recorded trace for key, or nil.
 func memoLookup(key streamKey) []mem.Access {
@@ -56,6 +63,8 @@ func memoLookup(key streamKey) []mem.Access {
 
 // memoPublish stores a fully generated trace, evicting oldest entries to
 // stay within budget.
+//
+//stash:fold mutex-serialized and order-commutative: replay equals generation, so which tile publishes first is unobservable
 func memoPublish(key streamKey, t []mem.Access) {
 	if len(t) > memoBudget {
 		return

@@ -143,6 +143,8 @@ const (
 
 // Stream generates one core's access sequence. It implements the
 // coherence.AccessSource contract (Next).
+//
+//stash:tileowned
 type Stream struct {
 	mix    Mix
 	core   int
