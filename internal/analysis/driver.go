@@ -172,17 +172,33 @@ func Filter(analyzers []*Analyzer, sel string) ([]*Analyzer, error) {
 	return out, nil
 }
 
-// Main is the cmd/stashvet entry point: run the analyzers over the patterns
-// (default ./...) and print findings. It returns the process exit code.
+// MainConfig configures the command-line driver front end shared by Main,
+// MainJSON and MainWith.
+type MainConfig struct {
+	// Format selects the output rendering: "" or "text" (one finding per
+	// line, suppressed findings withheld), "json" (NDJSON, suppressed
+	// findings included and flagged), or "sarif" (a SARIF 2.1.0 log,
+	// suppressed findings included with an inSource suppression).
+	Format string
+	// BudgetFile, when nonempty, additionally enforces the repo's
+	// directive budgets (see budget.go) against the counts committed in
+	// that file. Exceeding any budget exits 3, distinct from analyzer
+	// findings (1) and load errors (2).
+	BudgetFile string
+}
+
+// Main is the plain-text cmd/stashvet entry point: run the analyzers over
+// the patterns (default ./...) and print findings. It returns the process
+// exit code.
 func Main(out io.Writer, analyzers []*Analyzer, args []string) int {
-	return mainRun(out, analyzers, false, args)
+	return MainWith(out, analyzers, MainConfig{}, args)
 }
 
 // MainJSON is Main with NDJSON output: one diagnostic per line, suppressed
 // findings included and flagged, so CI can annotate PRs. The exit code is
 // unchanged from Main — only unsuppressed findings fail the run.
 func MainJSON(out io.Writer, analyzers []*Analyzer, args []string) int {
-	return mainRun(out, analyzers, true, args)
+	return MainWith(out, analyzers, MainConfig{Format: "json"}, args)
 }
 
 // jsonFinding is the stable -json line schema.
@@ -195,7 +211,12 @@ type jsonFinding struct {
 	Suppressed bool   `json:"suppressed"`
 }
 
-func mainRun(out io.Writer, analyzers []*Analyzer, jsonOut bool, args []string) int {
+// MainWith is the configurable driver entry point. Exit codes: 0 clean, 1
+// unsuppressed findings, 2 load/usage errors, 3 a directive budget was
+// exceeded (budget enforcement runs even when findings were reported, and
+// its exit code wins: a budget breach is a reviewed-change gate, not a
+// code diagnostic).
+func MainWith(out io.Writer, analyzers []*Analyzer, cfg MainConfig, args []string) int {
 	patterns := args
 	root, err := load.ModuleDir(".")
 	if err != nil {
@@ -213,10 +234,21 @@ func mainRun(out io.Writer, analyzers []*Analyzer, jsonOut bool, args []string) 
 		return 2
 	}
 	exit := 0
-	enc := json.NewEncoder(out)
 	for _, f := range findings {
-		switch {
-		case jsonOut:
+		if !f.Suppressed {
+			exit = 1
+		}
+	}
+	switch cfg.Format {
+	case "", "text":
+		for _, f := range findings {
+			if !f.Suppressed {
+				fmt.Fprintln(out, f)
+			}
+		}
+	case "json":
+		enc := json.NewEncoder(out)
+		for _, f := range findings {
 			enc.Encode(jsonFinding{
 				File:       f.Position.Filename,
 				Line:       f.Position.Line,
@@ -225,11 +257,24 @@ func mainRun(out io.Writer, analyzers []*Analyzer, jsonOut bool, args []string) 
 				Message:    f.Message,
 				Suppressed: f.Suppressed,
 			})
-		case !f.Suppressed:
-			fmt.Fprintln(out, f)
 		}
-		if !f.Suppressed {
-			exit = 1
+	case "sarif":
+		if err := writeSARIF(out, analyzers, findings); err != nil {
+			fmt.Fprintln(out, err)
+			return 2
+		}
+	default:
+		fmt.Fprintf(out, "unknown output format %q (want text, json or sarif)\n", cfg.Format)
+		return 2
+	}
+	if cfg.BudgetFile != "" {
+		over, err := enforceBudgets(out, root, cfg.BudgetFile)
+		if err != nil {
+			fmt.Fprintln(out, err)
+			return 2
+		}
+		if over {
+			exit = 3
 		}
 	}
 	return exit

@@ -1,0 +1,228 @@
+package analysis_test
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// sarifFixture builds a temp module with one finding-bearing line and one
+// suppressed one, chdirs into it, and returns the analyzer pair.
+func sarifFixture(t *testing.T) []*analysis.Analyzer {
+	t.Helper()
+	dir := t.TempDir()
+	writeFile(t, filepath.Join(dir, "go.mod"), "module fix\n\ngo 1.22\n")
+	writeFile(t, filepath.Join(dir, "a.go"), `package fix
+
+var A = 1
+
+//stash:ignore noisy reviewed escape
+var B = 2
+`)
+	t.Chdir(dir)
+	noisy := &analysis.Analyzer{
+		Name: "noisy",
+		Doc:  "flags every var\n\nLonger explanation that must not leak into the rule summary.",
+		Run: func(p *analysis.Pass) error {
+			for _, f := range p.Files {
+				for _, d := range f.Decls {
+					p.Reportf(d.Pos(), "flagged")
+				}
+			}
+			return nil
+		},
+	}
+	return []*analysis.Analyzer{noisy}
+}
+
+// TestMainSARIF pins the -sarif contract: a parseable SARIF 2.1.0 log with
+// the analyzer as a rule, one result per finding, suppressed findings
+// carried with an inSource suppression, and the exit code identical to the
+// text mode's.
+func TestMainSARIF(t *testing.T) {
+	analyzers := sarifFixture(t)
+
+	var out strings.Builder
+	code := analysis.MainWith(&out, analyzers, analysis.MainConfig{Format: "sarif"}, []string{"./..."})
+	if code != 1 {
+		t.Fatalf("exit %d, want 1 (unsuppressed finding present); output: %s", code, out.String())
+	}
+
+	var log struct {
+		Schema  string `json:"$schema"`
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID               string `json:"id"`
+						ShortDescription struct {
+							Text string `json:"text"`
+						} `json:"shortDescription"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID  string `json:"ruleId"`
+				Level   string `json:"level"`
+				Message struct {
+					Text string `json:"text"`
+				} `json:"message"`
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
+						Region struct {
+							StartLine int `json:"startLine"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+				Suppressions []struct {
+					Kind string `json:"kind"`
+				} `json:"suppressions"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal([]byte(out.String()), &log); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, out.String())
+	}
+	if log.Version != "2.1.0" || !strings.Contains(log.Schema, "sarif-2.1.0") {
+		t.Errorf("version %q schema %q, want SARIF 2.1.0", log.Version, log.Schema)
+	}
+	if len(log.Runs) != 1 {
+		t.Fatalf("%d runs, want 1", len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "stashvet" {
+		t.Errorf("driver name %q, want stashvet", run.Tool.Driver.Name)
+	}
+	ruleDoc := ""
+	for _, r := range run.Tool.Driver.Rules {
+		if r.ID == "noisy" {
+			ruleDoc = r.ShortDescription.Text
+		}
+	}
+	if ruleDoc != "flags every var" {
+		t.Errorf("rule noisy short description %q, want first doc line only", ruleDoc)
+	}
+	if len(run.Results) != 2 {
+		t.Fatalf("%d results, want 2 (one open, one suppressed):\n%s", len(run.Results), out.String())
+	}
+	suppressed := 0
+	for _, r := range run.Results {
+		if r.RuleID != "noisy" || r.Level != "warning" || r.Message.Text != "flagged" {
+			t.Errorf("result %+v: want ruleId noisy, level warning, message flagged", r)
+		}
+		if len(r.Locations) != 1 {
+			t.Fatalf("result has %d locations, want 1", len(r.Locations))
+		}
+		loc := r.Locations[0].PhysicalLocation
+		if !strings.HasSuffix(loc.ArtifactLocation.URI, "a.go") || strings.Contains(loc.ArtifactLocation.URI, "\\") {
+			t.Errorf("artifact URI %q: want a slash-separated path to a.go", loc.ArtifactLocation.URI)
+		}
+		if loc.Region.StartLine <= 0 {
+			t.Errorf("result startLine %d, want positive", loc.Region.StartLine)
+		}
+		for _, s := range r.Suppressions {
+			if s.Kind != "inSource" {
+				t.Errorf("suppression kind %q, want inSource", s.Kind)
+			}
+			suppressed++
+		}
+	}
+	if suppressed != 1 {
+		t.Errorf("%d suppressed results, want exactly 1", suppressed)
+	}
+}
+
+// TestMainUnknownFormat: a format typo is a usage error (2), not a silent
+// fallback to text.
+func TestMainUnknownFormat(t *testing.T) {
+	analyzers := sarifFixture(t)
+	var out strings.Builder
+	if code := analysis.MainWith(&out, analyzers, analysis.MainConfig{Format: "xml"}, []string{"./..."}); code != 2 {
+		t.Errorf("unknown format: exit %d, want 2 (output: %s)", code, out.String())
+	}
+}
+
+// TestMainBudget pins the -budget contract: directives within budget keep
+// the run green, a breach exits 3 and names the offending lines, and the
+// directives are counted with the old Makefile-gate scoping (testdata
+// excluded everywhere; _test.go excluded for parallel/share but counted
+// for ignore).
+func TestMainBudget(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.MkdirAll(filepath.Join(dir, "internal", "p", "testdata"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	writeFile(t, filepath.Join(dir, "go.mod"), "module fix\n\ngo 1.22\n")
+	writeFile(t, filepath.Join(dir, "internal", "p", "a.go"), `package p
+
+//stash:parallel worker spawn reviewed here
+var A = 1
+
+//stash:shared result store reviewed here
+var B = 2
+`)
+	// Out of scope for parallel/share: a test file and a testdata fixture.
+	writeFile(t, filepath.Join(dir, "internal", "p", "a_test.go"), `package p
+
+//stash:parallel directives in tests never count
+var T = 1
+`)
+	writeFile(t, filepath.Join(dir, "internal", "p", "testdata", "fix.go"), `package fixture
+
+//stash:shared fixtures never count
+var F = 1
+`)
+	t.Chdir(dir)
+
+	quiet := []*analysis.Analyzer{{
+		Name: "quiet",
+		Doc:  "reports nothing",
+		Run:  func(*analysis.Pass) error { return nil },
+	}}
+
+	budget := filepath.Join(dir, "budget")
+	writeFile(t, budget, "# baselines\nignore 0\nparallel 1\nshare 1\n")
+	var out strings.Builder
+	if code := analysis.MainWith(&out, quiet, analysis.MainConfig{BudgetFile: budget}, []string{"./..."}); code != 0 {
+		t.Errorf("within budget: exit %d, want 0 (output: %s)", code, out.String())
+	}
+
+	writeFile(t, budget, "ignore 0\nparallel 0\nshare 1\n")
+	out.Reset()
+	if code := analysis.MainWith(&out, quiet, analysis.MainConfig{BudgetFile: budget}, []string{"./..."}); code != 3 {
+		t.Errorf("over budget: exit %d, want 3 (output: %s)", code, out.String())
+	}
+	if !strings.Contains(out.String(), "internal/p/a.go:3") || !strings.Contains(out.String(), "//stash:parallel") {
+		t.Errorf("breach report should name the offending line: %q", out.String())
+	}
+	if strings.Contains(out.String(), "a_test.go") || strings.Contains(out.String(), "testdata") {
+		t.Errorf("out-of-scope files leaked into the count: %q", out.String())
+	}
+
+	for name, content := range map[string]string{
+		"missing class":  "ignore 0\nparallel 0\n",
+		"unknown class":  "ignore 0\nparallel 0\nshare 1\nbogus 3\n",
+		"negative count": "ignore -1\nparallel 0\nshare 1\n",
+		"not a pair":     "ignore\nparallel 0\nshare 1\n",
+	} {
+		writeFile(t, budget, content)
+		out.Reset()
+		if code := analysis.MainWith(&out, quiet, analysis.MainConfig{BudgetFile: budget}, []string{"./..."}); code != 2 {
+			t.Errorf("%s: exit %d, want 2 (output: %s)", name, code, out.String())
+		}
+	}
+
+	out.Reset()
+	if code := analysis.MainWith(&out, quiet, analysis.MainConfig{BudgetFile: filepath.Join(dir, "nope")}, []string{"./..."}); code != 2 {
+		t.Errorf("missing budget file: exit %d, want 2 (output: %s)", code, out.String())
+	}
+}

@@ -1,0 +1,136 @@
+package analysis
+
+import (
+	"encoding/json"
+	"io"
+	"path/filepath"
+	"strings"
+)
+
+// SARIF 2.1.0 output (-sarif): the minimal static-analysis interchange
+// subset that code-review UIs ingest — one run, the analyzer set as the
+// tool's rule table, one result per finding. Suppressed findings are
+// emitted with an inSource suppression rather than dropped, mirroring the
+// -json behavior: the escape hatch stays auditable.
+
+const sarifSchema = "https://json.schemastore.org/sarif-2.1.0.json"
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name  string      `json:"name"`
+	Rules []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID       string             `json:"ruleId"`
+	Level        string             `json:"level"`
+	Message      sarifMessage       `json:"message"`
+	Locations    []sarifLocation    `json:"locations"`
+	Suppressions []sarifSuppression `json:"suppressions,omitempty"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+type sarifSuppression struct {
+	Kind string `json:"kind"`
+}
+
+// writeSARIF renders the findings as one indented SARIF 2.1.0 log.
+func writeSARIF(out io.Writer, analyzers []*Analyzer, findings []Finding) error {
+	rules := make([]sarifRule, 0, len(analyzers)+1)
+	known := map[string]bool{}
+	addRule := func(name, doc string) {
+		if known[name] {
+			return
+		}
+		known[name] = true
+		rules = append(rules, sarifRule{ID: name, ShortDescription: sarifMessage{Text: docSummary(doc)}})
+	}
+	for _, a := range analyzers {
+		addRule(a.Name, a.Doc)
+	}
+	// Suppression-hygiene findings carry the synthetic "stashvet" analyzer
+	// name; give any such orphan ruleId a rule entry too so the log stays
+	// self-contained.
+	for _, f := range findings {
+		addRule(f.Analyzer, "driver-level diagnostic")
+	}
+
+	results := make([]sarifResult, 0, len(findings))
+	for _, f := range findings {
+		r := sarifResult{
+			RuleID:  f.Analyzer,
+			Level:   "warning",
+			Message: sarifMessage{Text: f.Message},
+			Locations: []sarifLocation{{PhysicalLocation: sarifPhysical{
+				ArtifactLocation: sarifArtifact{URI: filepath.ToSlash(f.Position.Filename)},
+				Region:           sarifRegion{StartLine: f.Position.Line, StartColumn: f.Position.Column},
+			}}},
+		}
+		if f.Suppressed {
+			r.Suppressions = []sarifSuppression{{Kind: "inSource"}}
+		}
+		results = append(results, r)
+	}
+
+	log := sarifLog{
+		Schema:  sarifSchema,
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "stashvet", Rules: rules}},
+			Results: results,
+		}},
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(log)
+}
+
+// docSummary reduces an analyzer's Doc to its first line, the convention
+// for a rule's short description.
+func docSummary(doc string) string {
+	doc = strings.TrimSpace(doc)
+	if i := strings.IndexByte(doc, '\n'); i >= 0 {
+		doc = doc[:i]
+	}
+	return strings.TrimSpace(doc)
+}

@@ -261,6 +261,22 @@ func (c *Cache) locate(ln *Line) (set, way int) {
 	return set, way
 }
 
+// Locate maps a *Line owned by this cache back to its (set, way)
+// coordinates. The model checker uses it to serialize controller state
+// canonically: TBEs hold raw line pointers, and (set, way) is the stable
+// name a pointer corresponds to.
+func (c *Cache) Locate(ln *Line) (set, way int) { return c.locate(ln) }
+
+// ForEachSlot calls fn for every line — valid or not — in set-major slot
+// order, passing the flat slot index (set*Ways + way). Unlike ForEach it
+// exposes empty ways, so a caller can serialize the complete tag-array
+// layout (which ways are free matters to victim selection).
+func (c *Cache) ForEachSlot(fn func(idx int, ln *Line)) {
+	for i := range c.lines {
+		fn(i, &c.lines[i])
+	}
+}
+
 // ForEach calls fn for every valid line. Iteration order is set-major and
 // deterministic.
 func (c *Cache) ForEach(fn func(*Line)) {

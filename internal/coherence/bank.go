@@ -509,6 +509,10 @@ func (bk *Bank) fillFromMemory(tbe *dirTBE) {
 	if victim == nil {
 		// Every candidate way has an in-flight transaction; retry.
 		bk.allocRetries.Inc()
+		if bk.fab.retryHook != nil {
+			bk.fab.retryHook(ParkedRetry{bank: bk, kind: RetryLLCVictim, tbe: tbe})
+			return
+		}
 		bk.fab.Engine.AfterArg(bk.fab.Params.RetryDelay, "bank.llc-victim-retry", bk.fillRetryFn, tbe)
 		return
 	}
@@ -923,6 +927,10 @@ func (bk *Bank) allocEntry(tbe *dirTBE) {
 
 	case core.AllocBlocked:
 		bk.allocRetries.Inc()
+		if bk.fab.retryHook != nil {
+			bk.fab.retryHook(ParkedRetry{bank: bk, kind: RetryAlloc, tbe: tbe})
+			return
+		}
 		bk.fab.Engine.AfterArg(bk.fab.Params.RetryDelay, "bank.alloc-retry", bk.allocRetryFn, tbe)
 	}
 }

@@ -92,6 +92,18 @@ type Fabric struct {
 	// The protocoltrace example uses it to annotate runs.
 	OnMessage func(src, dst noc.NodeID, m *Msg)
 
+	// sendHook, when set (SetSendHook), may capture a message instead of
+	// letting the mesh transport it: a true return means the hook took
+	// ownership. The model checker uses it to park every send in explicit
+	// per-channel queues whose delivery order it enumerates.
+	sendHook func(src, dst noc.NodeID, m *Msg) bool
+
+	// retryHook, when set (SetRetryHook), intercepts the banks' timed
+	// allocation retries (LLC-victim and directory-entry) so an enumerating
+	// scheduler can treat "the retry timer fires" as an explicit choice
+	// point instead of a busy-wait loop inside the engine.
+	retryHook func(ParkedRetry)
+
 	// pool recycles protocol messages (see msgPool); the controllers also
 	// keep per-instance TBE free lists, so the steady-state protocol path
 	// touches the heap only while these pools warm up.
@@ -172,6 +184,9 @@ func (f *Fabric) HomeBank(b mem.Block) int {
 func (f *Fabric) send(src, dst noc.NodeID, m *Msg) {
 	if f.OnMessage != nil {
 		f.OnMessage(src, dst, m)
+	}
+	if f.sendHook != nil && f.sendHook(src, dst, m) {
+		return
 	}
 	if f.pout != nil {
 		f.psend(src, dst, m)

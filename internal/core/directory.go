@@ -130,6 +130,13 @@ type Entry struct {
 // Valid reports whether the entry currently tracks a block.
 func (e *Entry) Valid() bool { return e.valid }
 
+// Slot returns the entry's (set, way) coordinates inside its organization's
+// backing store (sub-table and slot for the cuckoo layout). Unbounded
+// organizations return (0, 0). The model checker serializes entries with
+// their coordinates because slot placement is machine state: it determines
+// future victim choices and cuckoo relocation paths.
+func (e *Entry) Slot() (set, way int) { return int(e.set), int(e.way) }
+
 // Owner returns the owning core when the entry is in the owned state, or
 // -1 otherwise.
 func (e *Entry) Owner() int {

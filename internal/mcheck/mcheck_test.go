@@ -1,0 +1,194 @@
+package mcheck
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/coherence"
+	"repro/internal/core"
+	"repro/internal/mem"
+	"repro/internal/noc"
+)
+
+// TestExhaustiveClean is the protocol gate: every directory organization
+// must exhaust the 2-core/1-address state space with zero violations and
+// no truncation.
+func TestExhaustiveClean(t *testing.T) {
+	for _, kind := range Kinds() {
+		kind := kind
+		t.Run(kind, func(t *testing.T) {
+			t.Parallel()
+			res, err := Run(Config{Cores: 2, Addrs: 1, Kind: kind})
+			if err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			for _, v := range res.Violations {
+				t.Errorf("violation:\n%s", v)
+			}
+			if res.Truncated != "" {
+				t.Errorf("search truncated (%s); the 2x1 space must be exhaustible", res.Truncated)
+			}
+			if res.States < 100 {
+				t.Errorf("suspiciously small state space: %d states", res.States)
+			}
+			if res.Quiescent == 0 {
+				t.Errorf("no quiescent states reached; audits never ran")
+			}
+			t.Logf("%s", res.Summary())
+		})
+	}
+}
+
+// TestConflictBounded drives two cores over two blocks that collide on a
+// one-entry directory slice — the configuration where sparse recalls and
+// stash stashing actually fire — under a depth bound.
+func TestConflictBounded(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bounded conflict exploration is a few seconds per kind")
+	}
+	for _, kind := range []string{"sparse", "stash", "stash-ss", "cuckoo"} {
+		kind := kind
+		t.Run(kind, func(t *testing.T) {
+			t.Parallel()
+			res, err := Run(Config{Cores: 2, Addrs: 2, Kind: kind, MaxDepth: 3})
+			if err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			for _, v := range res.Violations {
+				t.Errorf("violation:\n%s", v)
+			}
+			t.Logf("%s", res.Summary())
+		})
+	}
+}
+
+// TestSilentAndThreeHopVariants covers the protocol's two optional modes
+// on the exhaustible configuration.
+func TestSilentAndThreeHopVariants(t *testing.T) {
+	if testing.Short() {
+		t.Skip("variant exploration is a few seconds")
+	}
+	for _, tc := range []struct {
+		name   string
+		silent bool
+		three  bool
+	}{{"silent-evict", true, false}, {"three-hop", false, true}} {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			res, err := Run(Config{Cores: 2, Addrs: 1, Kind: "stash", SilentEvict: tc.silent, ThreeHop: tc.three})
+			if err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			for _, v := range res.Violations {
+				t.Errorf("violation:\n%s", v)
+			}
+			t.Logf("%s", res.Summary())
+		})
+	}
+}
+
+// TestDroppedInvAckYieldsDeadlock mutates the protocol at the transport
+// boundary — the first invalidation acknowledgment is silently dropped —
+// and demands that the checker produce a deadlock counterexample: the
+// bank's transaction waits for an ack that never arrives.
+func TestDroppedInvAckYieldsDeadlock(t *testing.T) {
+	res, err := Run(Config{
+		Cores: 2, Addrs: 1, Kind: "stash",
+		NewDropFilter: func() func(src, dst noc.NodeID, m *coherence.Msg) bool {
+			dropped := false
+			return func(src, dst noc.NodeID, m *coherence.Msg) bool {
+				if !dropped && m.Type == coherence.MsgInvAck {
+					dropped = true
+					return true
+				}
+				return false
+			}
+		},
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(res.Violations) == 0 {
+		t.Fatalf("dropped InvAck went undetected: %s", res.Summary())
+	}
+	v := res.Violations[0]
+	if v.Kind != "deadlock" {
+		t.Errorf("first violation kind = %q, want deadlock:\n%s", v.Kind, v)
+	}
+	if len(v.Trace) == 0 {
+		t.Errorf("counterexample has no trace")
+	}
+	if len(v.Trace) > 10 {
+		t.Errorf("counterexample is not minimal: %d steps\n%s", len(v.Trace), v)
+	}
+	t.Logf("minimal counterexample (%d steps):\n%s", len(v.Trace), v)
+}
+
+// forgetfulStash wraps the stash directory and reports its stash
+// evictions as plain allocations, modeling a bank that forgets to set the
+// hidden bit: the dropped entry's private copy becomes untrackable.
+type forgetfulStash struct{ core.Directory }
+
+func (d forgetfulStash) Allocate(b mem.Block, busy func(mem.Block) bool) core.AllocResult {
+	res := d.Directory.Allocate(b, busy)
+	if res.Outcome == core.AllocStashed {
+		res.Outcome = core.AllocOK
+	}
+	return res
+}
+
+// TestForgottenHiddenBitYieldsViolation mutates the stash path — a stashed
+// entry's hidden bit is never set — and demands a tracking-lost
+// counterexample from the per-state invariants.
+func TestForgottenHiddenBitYieldsViolation(t *testing.T) {
+	res, err := Run(Config{
+		Cores: 2, Addrs: 2, Kind: "stash", MaxDepth: 3,
+		WrapDirectory: func(d core.Directory) core.Directory { return forgetfulStash{d} },
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(res.Violations) == 0 {
+		t.Fatalf("forgotten hidden bit went undetected: %s", res.Summary())
+	}
+	v := res.Violations[0]
+	if !strings.Contains(v.Message, "tracking lost") {
+		t.Errorf("first violation = %q, want a tracking-lost report:\n%s", v.Message, v)
+	}
+	if len(v.Trace) == 0 || len(v.Trace) > 8 {
+		t.Errorf("counterexample trace has %d steps, want short and nonempty:\n%s", len(v.Trace), v)
+	}
+	t.Logf("minimal counterexample (%d steps):\n%s", len(v.Trace), v)
+}
+
+// TestEncodingCanonical checks that two independently built initial worlds
+// encode identically (the dedup key must be history-free), and that the
+// encoder actually distinguishes a perturbed state.
+func TestEncodingCanonical(t *testing.T) {
+	e1 := &Explorer{cfg: Config{Cores: 2, Addrs: 2, Kind: "stash"}, enc: coherence.NewStateEncoder()}
+	e1.cfg.setDefaults()
+	e1.blocks = []mem.Block{0, 2}
+	w1, err := e1.newWorld()
+	if err != nil {
+		t.Fatal(err)
+	}
+	k1 := e1.encode(w1)
+
+	e2 := &Explorer{cfg: e1.cfg, enc: coherence.NewStateEncoder(), blocks: e1.blocks}
+	w2, err := e2.newWorld()
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2 := e2.encode(w2)
+	if k1 != k2 {
+		t.Errorf("fresh worlds encode differently (%d vs %d bytes)", len(k1), len(k2))
+	}
+
+	if _, err := e2.apply(w2, action{kind: aLoad, core: 0, addr: 0}); err != nil {
+		t.Fatalf("apply: %v", err)
+	}
+	if e2.encode(w2) == k1 {
+		t.Errorf("state changed by a load encodes identically to the initial state")
+	}
+}

@@ -346,8 +346,16 @@ func (s *BinarySource) fill() {
 			}
 			return
 		}
+		start := s.off
 		s.off = i
 		s.prev += uint64(unzigzag(u >> 1))
+		// The writer never emits an address at or beyond binaryMaxAddr, so
+		// an accumulated delta landing there (including any wrap through
+		// zero) is corruption, not data.
+		if s.prev >= binaryMaxAddr {
+			s.failRange(start)
+			return
+		}
 		s.batch[s.bn] = mem.Access{Addr: mem.Addr(s.prev), Write: u&1 != 0}
 		s.bn++
 	}
@@ -396,6 +404,10 @@ func (s *BinarySource) refill() bool {
 
 func (s *BinarySource) failOverflow(off int) {
 	s.err = fmt.Errorf("trace: binary record at payload offset %d overflows 64 bits", off)
+}
+
+func (s *BinarySource) failRange(off int) {
+	s.err = fmt.Errorf("trace: binary record at payload offset %d decodes to an address outside the format's 2^62 range", off)
 }
 
 func (s *BinarySource) failTruncated(off int) {

@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bytes"
+	"encoding/binary"
 	"math/rand"
 	"os"
 	"path/filepath"
@@ -165,6 +166,25 @@ func TestBinaryOverflowRecord(t *testing.T) {
 	}
 	if _, err := drain(s); err == nil || !strings.Contains(err.Error(), "overflows") {
 		t.Fatalf("want an overflow error, got %v", err)
+	}
+}
+
+// TestBinaryRangeRecord pins the decoder's address-range check (found by
+// FuzzBinarySource): two in-format deltas whose sum crosses the writer's
+// 2^62 ceiling must be rejected, not silently decoded into an address the
+// writer could never have produced.
+func TestBinaryRangeRecord(t *testing.T) {
+	b := encodeBinary(t, nil)
+	for i := 0; i < 2; i++ {
+		b = binary.AppendUvarint(b, zigzag(1<<61)<<1) // read at prev + 2^61
+	}
+	s, err := NewBinaryBytes(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := drain(s)
+	if err == nil || !strings.Contains(err.Error(), "range") {
+		t.Fatalf("want a range error, got %d accesses and %v", len(got), err)
 	}
 }
 
